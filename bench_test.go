@@ -1,0 +1,243 @@
+// Package crane_test holds the paper-evaluation benchmarks: one benchmark
+// per table and figure of §7 (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+//	go test -bench=Figure14 -benchtime=1x .
+//	go test -bench=. -benchtime=1x .        # everything
+//
+// Each benchmark iteration runs the complete experiment cell (cluster
+// deployment + workload) and reports medians as custom metrics, so
+// -benchtime=1x is the intended mode; larger -benchtime repeats whole
+// experiments.
+package crane_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crane/internal/bench"
+	icrane "crane/internal/crane"
+)
+
+// benchScale keeps `go test -bench=.` affordable; crane-bench -full runs
+// the larger version.
+var benchScale = bench.Scale{Requests: 12, Concurrency: 4, PrepareRows: 30}
+
+func reportMedian(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d.Microseconds()), name+"-µs")
+}
+
+// BenchmarkFigure14 regenerates Figure 14: per-server response time under
+// parrot-only, paxos-only, and full CRANE, normalized to the un-replicated
+// nondeterministic baseline.
+func BenchmarkFigure14(b *testing.B) {
+	for _, spec := range bench.Specs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base, err := bench.RunCell(spec, bench.ClusterConfig(icrane.ModeNondet), false, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, mode := range []icrane.Mode{icrane.ModeParrotOnly, icrane.ModePaxosOnly, icrane.ModeCrane} {
+					cell, err := bench.RunCell(spec, bench.ClusterConfig(mode), false, benchScale)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if base.Summary.Median > 0 {
+						b.ReportMetric(float64(cell.Summary.Median)/float64(base.Summary.Median),
+							mode.String()+"-x")
+					}
+				}
+				reportMedian(b, "baseline", base.Summary.Median)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: the ratio of time bubbles among all
+// Paxos consensus requests under full CRANE.
+func BenchmarkTable1(b *testing.B) {
+	for _, spec := range bench.Specs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cell, err := bench.RunCell(spec, bench.ClusterConfig(icrane.ModeCrane), false, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cell.ClientCalls), "client-calls")
+				b.ReportMetric(float64(cell.Bubbles), "bubbles")
+				b.ReportMetric(100*cell.BubbleRatio, "bubble-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure15 regenerates Figure 15: the effect of the two-line
+// soft-barrier hints on Apache and Mongoose under full CRANE.
+func BenchmarkFigure15(b *testing.B) {
+	for _, spec := range bench.Specs() {
+		if !spec.HintsApply {
+			continue
+		}
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				without, err := bench.RunCell(spec, bench.ClusterConfig(icrane.ModeCrane), false, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				with, err := bench.RunCell(spec, bench.ClusterConfig(icrane.ModeCrane), true, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMedian(b, "wo-hints", without.Summary.Median)
+				reportMedian(b, "w-hints", with.Summary.Median)
+				if with.Summary.Median > 0 {
+					b.ReportMetric(float64(without.Summary.Median)/float64(with.Summary.Median), "hint-speedup-x")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure16 regenerates Figure 16: W_timeout sensitivity
+// (1/10/100/1000/10000 µs) for each server under full CRANE.
+func BenchmarkFigure16(b *testing.B) {
+	for _, spec := range bench.Specs() {
+		spec := spec
+		for _, wt := range bench.Wtimeouts {
+			wt := wt
+			b.Run(fmt.Sprintf("%s/Wtimeout=%v", spec.Name, wt), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := bench.ClusterConfig(icrane.ModeCrane)
+					cfg.Wtimeout = wt
+					cell, err := bench.RunCell(spec, cfg, false, benchScale)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportMedian(b, "median", cell.Summary.Median)
+					b.ReportMetric(float64(cell.Bubbles), "bubbles")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure17 regenerates Figure 17: N_clock sensitivity
+// (100/1000/10000) for each server under full CRANE.
+func BenchmarkFigure17(b *testing.B) {
+	for _, spec := range bench.Specs() {
+		spec := spec
+		for _, nc := range bench.Nclocks {
+			nc := nc
+			b.Run(fmt.Sprintf("%s/Nclock=%d", spec.Name, nc), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := bench.ClusterConfig(icrane.ModeCrane)
+					cfg.Nclock = nc
+					cell, err := bench.RunCell(spec, cfg, false, benchScale)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportMedian(b, "median", cell.Summary.Median)
+					b.ReportMetric(float64(cell.Bubbles), "bubbles")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: per-server checkpoint/restore cost
+// for the process image and the filesystem patch.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			b.ReportMetric(float64(row.Cp.Microseconds()), row.App+"-Cp-µs")
+			b.ReportMetric(float64(row.Cfs.Microseconds()), row.App+"-Cfs-µs")
+			b.ReportMetric(float64(row.Rp.Microseconds()), row.App+"-Rp-µs")
+			b.ReportMetric(float64(row.Rfs.Microseconds()), row.App+"-Rfs-µs")
+		}
+	}
+}
+
+// BenchmarkConsistencyPlanI regenerates §7.2 plan I: repeated PUT/GET
+// races under full CRANE must never diverge across replicas.
+func BenchmarkConsistencyPlanI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Consistency(icrane.ModeCrane, 5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Divergent > 0 {
+			b.Fatalf("plan I diverged in %d/%d runs", res.Divergent, res.Runs)
+		}
+		b.ReportMetric(float64(res.OK), "GET-200s")
+		b.ReportMetric(float64(res.NotFound), "GET-404s")
+		b.ReportMetric(0, "divergent")
+	}
+}
+
+// BenchmarkConsistencyPlanII regenerates §7.2 plan II: with time bubbling
+// disabled the divergence rate is reported (the paper observed divergence;
+// it is probabilistic per run).
+func BenchmarkConsistencyPlanII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Consistency(icrane.ModeCraneNoBubble, 5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Divergent), "divergent")
+		b.ReportMetric(float64(res.Runs), "runs")
+	}
+}
+
+// BenchmarkElection regenerates §7.6's failover measurement: time from
+// primary failure to a serving new primary, plus the 3-step election
+// phase itself.
+func BenchmarkElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Election(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DetectAndElect.Milliseconds()), "failover-ms")
+		b.ReportMetric(res.ElectionPhase, "election-ms")
+	}
+}
+
+// BenchmarkAblationRex quantifies §8's Rex comparison: bytes a Rex-style
+// primary would ship (recorded thread interleavings) vs the socket-input
+// bytes CRANE actually ships through consensus, per request.
+func BenchmarkAblationRex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationRex(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ScheduleBytesPerR, "rex-B/req")
+		b.ReportMetric(res.InputBytesPerR, "crane-B/req")
+		b.ReportMetric(res.Ratio, "ship-ratio-x")
+	}
+}
+
+// BenchmarkAblationPerRequest compares per-burst time bubbling (CRANE)
+// against an effectively per-request admission consensus (tiny W_timeout,
+// the dOS-style alternative §1 argues against).
+func BenchmarkAblationPerRequest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		perBurst, perRequest, err := bench.AblationPerRequest(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMedian(b, "per-burst", perBurst.Summary.Median)
+		reportMedian(b, "per-request", perRequest.Summary.Median)
+		b.ReportMetric(float64(perBurst.Bubbles), "bubbles-burst")
+		b.ReportMetric(float64(perRequest.Bubbles), "bubbles-perreq")
+	}
+}

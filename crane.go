@@ -1,0 +1,69 @@
+// Package crane is the public API of this reproduction of "Paxos Made
+// Transparent" (Cui, Gu, Liu, Chen, Yang — SOSP 2015): CRANE, a state
+// machine replication system that transparently replicates multithreaded
+// server programs by reaching Paxos consensus on the socket API, making
+// execution deterministic with the Parrot DMT scheduler, and making
+// request admission times deterministic with time bubbling.
+//
+// A downstream user writes a server against the papi thread/socket
+// surface (re-exported here), packages it as a Program, and deploys it
+// replicated:
+//
+//	prog := papi.Program{Name: "kv", Ports: []int{9000}, New: newKV}
+//	cluster, err := crane.StartCluster(crane.Config{
+//		Mode:     crane.ModeCrane,
+//		Replicas: 3,
+//	}, prog)
+//
+// See examples/quickstart for a complete runnable deployment, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure in the paper's evaluation.
+package crane
+
+import (
+	icrane "crane/internal/crane"
+	"crane/internal/papi"
+)
+
+// Mode selects the execution configuration (the bars of the paper's
+// Figure 14 plus the §7.2 "plan II" diagnostic mode).
+type Mode = icrane.Mode
+
+// Execution modes.
+const (
+	// ModeNondet runs the program un-replicated with ordinary
+	// nondeterministic threading: the paper's baseline.
+	ModeNondet = icrane.ModeNondet
+	// ModeParrotOnly runs the DMT scheduler without replication.
+	ModeParrotOnly = icrane.ModeParrotOnly
+	// ModePaxosOnly replicates socket inputs without execution
+	// determinism.
+	ModePaxosOnly = icrane.ModePaxosOnly
+	// ModeCraneNoBubble disables time bubbling (replicas may diverge).
+	ModeCraneNoBubble = icrane.ModeCraneNoBubble
+	// ModeCrane is the full system.
+	ModeCrane = icrane.ModeCrane
+)
+
+// Config configures a cluster deployment.
+type Config = icrane.Config
+
+// Cluster is a running replicated deployment.
+type Cluster = icrane.Cluster
+
+// Replica is one CRANE instance.
+type Replica = icrane.Replica
+
+// StartCluster deploys a program under the configured mode.
+func StartCluster(cfg Config, prog papi.Program) (*Cluster, error) {
+	return icrane.StartCluster(cfg, prog)
+}
+
+// Program describes a deployable server program (re-exported from papi).
+type Program = papi.Program
+
+// Instance is a replica-local program instantiation.
+type Instance = papi.Instance
+
+// T is a server thread's handle to the runtime.
+type T = papi.T

@@ -1,0 +1,61 @@
+// Command kvstore runs the same replicated MySQL-like database under the
+// four execution modes of Figure 14 (un-replicated nondeterministic,
+// Parrot-only, Paxos-only, full CRANE) and prints each mode's median
+// response time for a SysBench-style point-SELECT workload — a miniature,
+// single-program version of the paper's performance comparison.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crane/internal/apps/clients"
+	"crane/internal/apps/mysqld"
+	"crane/internal/crane"
+	"crane/internal/simnet"
+)
+
+func main() {
+	const (
+		rows    = 40
+		queries = 60
+		conc    = 4
+	)
+	fmt.Printf("%-14s %12s %12s %10s\n", "mode", "median", "p90", "errors")
+	var baseline time.Duration
+	for _, mode := range []crane.Mode{
+		crane.ModeNondet, crane.ModeParrotOnly, crane.ModePaxosOnly, crane.ModeCrane,
+	} {
+		cfg := mysqld.DefaultConfig()
+		cfg.Workers = 8
+		cluster, err := crane.StartCluster(crane.Config{
+			Mode:     mode,
+			Replicas: 3,
+			NetOptions: simnet.Options{
+				Latency: 30 * time.Microsecond,
+				Jitter:  60 * time.Microsecond,
+			},
+		}, mysqld.Program(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := clients.SysBenchPrepare(cluster.Dial, "prep:1", 3306, rows); err != nil {
+			cluster.Stop()
+			log.Fatalf("%v: prepare: %v", mode, err)
+		}
+		sum := clients.SysBench(cluster.Dial, 3306, rows, conc, queries)
+		cluster.Stop()
+		if mode == crane.ModeNondet {
+			baseline = sum.Median
+		}
+		rel := ""
+		if baseline > 0 && mode != crane.ModeNondet {
+			rel = fmt.Sprintf("  (%.0f%% of baseline)", 100*float64(sum.Median)/float64(baseline))
+		}
+		fmt.Printf("%-14s %12v %12v %10d%s\n", mode, sum.Median.Round(time.Microsecond),
+			sum.P90.Round(time.Microsecond), sum.Errors, rel)
+	}
+}

@@ -1,0 +1,3 @@
+module crane
+
+go 1.22

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crane/internal/dmt"
+)
+
+// ContentionProfiler counts per-lock acquisitions and condition-variable
+// waits from the deterministic event stream — the profiling complement to
+// the lock-order checker (the paper's REPFRAME vision is explicitly
+// "multiple types of program analysis tools within one execution", §6.2;
+// combine tools with Multiplex).
+type ContentionProfiler struct {
+	mu       sync.Mutex
+	label    map[any]int
+	acquires map[int]uint64
+	waits    map[int]uint64
+	byThread map[int]uint64
+}
+
+// NewContentionProfiler creates a profiler.
+func NewContentionProfiler() *ContentionProfiler {
+	return &ContentionProfiler{
+		label:    make(map[any]int),
+		acquires: make(map[int]uint64),
+		waits:    make(map[int]uint64),
+		byThread: make(map[int]uint64),
+	}
+}
+
+// Observer returns the dmt.Observer to install.
+func (c *ContentionProfiler) Observer() dmt.Observer {
+	return func(ev dmt.Event) { c.onEvent(ev) }
+}
+
+func (c *ContentionProfiler) id(obj any) int {
+	if id, ok := c.label[obj]; ok {
+		return id
+	}
+	id := len(c.label)
+	c.label[obj] = id
+	return id
+}
+
+func (c *ContentionProfiler) onEvent(ev dmt.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case dmt.EvLockAcquire, dmt.EvRLockAcquire, dmt.EvWLockAcquire:
+		c.acquires[c.id(ev.Object)]++
+		c.byThread[ev.Thread]++
+	case dmt.EvCondWait:
+		c.waits[c.id(ev.Object)]++
+	}
+}
+
+// HotLock is one lock's profile entry.
+type HotLock struct {
+	Lock     int
+	Acquires uint64
+}
+
+// String implements fmt.Stringer.
+func (h HotLock) String() string {
+	return fmt.Sprintf("L%d: %d acquisitions", h.Lock, h.Acquires)
+}
+
+// Hottest returns the top-n locks by acquisition count.
+func (c *ContentionProfiler) Hottest(n int) []HotLock {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]HotLock, 0, len(c.acquires))
+	for id, a := range c.acquires {
+		out = append(out, HotLock{Lock: id, Acquires: a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Acquires != out[j].Acquires {
+			return out[i].Acquires > out[j].Acquires
+		}
+		return out[i].Lock < out[j].Lock
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TotalAcquires returns the total lock acquisitions observed.
+func (c *ContentionProfiler) TotalAcquires() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t uint64
+	for _, a := range c.acquires {
+		t += a
+	}
+	return t
+}
+
+// CondWaits returns the total condition-variable waits observed.
+func (c *ContentionProfiler) CondWaits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t uint64
+	for _, w := range c.waits {
+		t += w
+	}
+	return t
+}
+
+// Multiplex fans one deterministic event stream out to several analyses —
+// REPFRAME's "multiple analyses within one execution" on a single backup.
+func Multiplex(obs ...dmt.Observer) dmt.Observer {
+	return func(ev dmt.Event) {
+		for _, o := range obs {
+			o(ev)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"crane/internal/dmt"
+)
+
+func TestContentionProfilerCounts(t *testing.T) {
+	var hot, cold dmt.Mutex
+	c := NewContentionProfiler()
+	body := func(th *dmt.Thread) {
+		for i := 0; i < 20; i++ {
+			th.Lock(&hot)
+			th.Unlock(&hot)
+		}
+		th.Lock(&cold)
+		th.Unlock(&cold)
+	}
+	runObserved(t, c, []func(*dmt.Thread){body, body})
+	if got := c.TotalAcquires(); got != 42 {
+		t.Fatalf("TotalAcquires = %d, want 42", got)
+	}
+	top := c.Hottest(1)
+	if len(top) != 1 || top[0].Acquires != 40 {
+		t.Fatalf("Hottest = %v", top)
+	}
+	if top[0].String() == "" {
+		t.Fatal("empty HotLock string")
+	}
+}
+
+func TestContentionCondWaits(t *testing.T) {
+	var m dmt.Mutex
+	var cv dmt.Cond
+	c := NewContentionProfiler()
+	ready := false
+	runObserved(t, c, []func(*dmt.Thread){
+		func(th *dmt.Thread) {
+			th.Lock(&m)
+			for !ready {
+				th.CondWait(&cv, &m)
+			}
+			th.Unlock(&m)
+		},
+		func(th *dmt.Thread) {
+			for {
+				th.Lock(&m)
+				ready = true
+				th.Unlock(&m)
+				th.CondSignal(&cv)
+				return
+			}
+		},
+	})
+	if c.CondWaits() == 0 {
+		t.Fatal("no cond waits observed")
+	}
+}
+
+func TestMultiplexFansOut(t *testing.T) {
+	var m1, m2 dmt.Mutex
+	order := NewLockOrderChecker()
+	prof := NewContentionProfiler()
+
+	s := dmt.New()
+	s.SetObserver(Multiplex(order.Observer(), prof.Observer()))
+	s.Start()
+	done := make(chan struct{})
+	s.Spawn(nil, "t", func(th *dmt.Thread) {
+		th.Lock(&m1)
+		th.Lock(&m2)
+		th.Unlock(&m2)
+		th.Unlock(&m1)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("multiplexed program hung")
+	}
+	s.Kill()
+	s.Join()
+	if order.Events() == 0 || prof.TotalAcquires() != 2 {
+		t.Fatalf("multiplex lost events: order=%d prof=%d",
+			order.Events(), prof.TotalAcquires())
+	}
+	if len(order.Inversions()) != 0 {
+		t.Fatal("false inversion in multiplexed run")
+	}
+}

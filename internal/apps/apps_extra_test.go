@@ -1,0 +1,128 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crane/internal/apps/clamav"
+	"crane/internal/apps/clients"
+	"crane/internal/apps/httpd"
+	"crane/internal/apps/mediatomb"
+	"crane/internal/apps/mysqld"
+	"crane/internal/simnet"
+)
+
+// exchange sends one line and reads one response chunk over an existing
+// connection.
+func exchange(t *testing.T, c *simnet.Conn, line, stop string) string {
+	t.Helper()
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		t.Fatalf("write %q: %v", line, err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var acc []byte
+	buf := make([]byte, 4096)
+	for !strings.Contains(string(acc), stop) {
+		n, err := c.Read(buf)
+		acc = append(acc, buf[:n]...)
+		if err != nil {
+			t.Fatalf("read after %q: %v (%q)", line, err, acc)
+		}
+	}
+	return string(acc)
+}
+
+func TestHTTPDHeadMethod(t *testing.T) {
+	dial, _, stop := startNondet(t, httpd.Program(httpd.DefaultConfig()))
+	defer stop()
+	status, body, err := clients.Curl(dial, "c:1", 8080, "HEAD", "/index.html", nil)
+	if err != nil || status != 200 {
+		t.Fatalf("HEAD: %d, %v", status, err)
+	}
+	if len(body) != 0 {
+		t.Fatalf("HEAD returned a body: %q", body)
+	}
+	status, _, _ = clients.Curl(dial, "c:2", 8080, "HEAD", "/missing", nil)
+	if status != 404 {
+		t.Fatalf("HEAD missing = %d", status)
+	}
+}
+
+func TestClamAVReloadAndStats(t *testing.T) {
+	dial, _, stop := startNondet(t, clamav.Program(clamav.DefaultConfig()))
+	defer stop()
+	c, err := dial("c:1", 3310)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := exchange(t, c, "RELOAD", "RELOADING")
+	if !strings.Contains(got, "RELOADING 65 signatures") {
+		t.Fatalf("RELOAD -> %q", got)
+	}
+	got = exchange(t, c, "STATS", "END")
+	if !strings.Contains(got, "SCANNED: 0") {
+		t.Fatalf("STATS -> %q", got)
+	}
+	// MULTISCAN behaves like SCAN.
+	got = exchange(t, c, "MULTISCAN src/clamav/file00.c", "SCAN SUMMARY:")
+	if !strings.Contains(got, "scanned 1 infected 0") {
+		t.Fatalf("MULTISCAN -> %q", got)
+	}
+	got = exchange(t, c, "STATS", "END")
+	if !strings.Contains(got, "SCANNED: 1") {
+		t.Fatalf("STATS after scan -> %q", got)
+	}
+}
+
+func TestMediaTombListAndProbe(t *testing.T) {
+	dial, _, stop := startNondet(t, mediatomb.Program(mediatomb.DefaultConfig()))
+	defer stop()
+	c, err := dial("c:1", 50500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := exchange(t, c, "LIST", "video3.avi")
+	if !strings.Contains(got, "media/video0.avi") {
+		t.Fatalf("LIST -> %q", got)
+	}
+	got = exchange(t, c, "PROBE video1.avi", "MEDIA")
+	if !strings.Contains(got, "MEDIA video1.avi size=") {
+		t.Fatalf("PROBE -> %q", got)
+	}
+	// Probing is deterministic.
+	got2 := exchange(t, c, "PROBE video1.avi", "MEDIA")
+	if got != got2 {
+		t.Fatalf("PROBE nondeterministic: %q vs %q", got, got2)
+	}
+}
+
+func TestMySQLOrderByLimitCount(t *testing.T) {
+	dial, _, stop := startNondet(t, mysqld.Program(mysqld.DefaultConfig()))
+	defer stop()
+	c, err := dial("c:1", 3306)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exchange(t, c, "CREATE TABLE nums (id val)", "OK")
+	for _, pair := range [][2]string{{"3", "c"}, {"1", "a"}, {"2", "b"}} {
+		exchange(t, c, "INSERT INTO nums VALUES "+pair[0]+" '"+pair[1]+"'", "OK")
+	}
+	got := exchange(t, c, "SELECT * FROM nums ORDER BY id", "ROWS")
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 4 || lines[1] != "1|a" || lines[2] != "2|b" || lines[3] != "3|c" {
+		t.Fatalf("ORDER BY -> %q", got)
+	}
+	got = exchange(t, c, "SELECT * FROM nums ORDER BY id DESC LIMIT 2", "ROWS")
+	lines = strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 || lines[1] != "3|c" || lines[2] != "2|b" {
+		t.Fatalf("ORDER BY DESC LIMIT -> %q", got)
+	}
+	got = exchange(t, c, "SELECT COUNT FROM nums WHERE id > 1", "COUNT")
+	if !strings.HasPrefix(got, "COUNT 2") {
+		t.Fatalf("COUNT -> %q", got)
+	}
+}

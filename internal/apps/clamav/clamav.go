@@ -1,0 +1,334 @@
+// Package clamav reimplements the concurrency structure of the ClamAV
+// scanning daemon evaluated in §7: an anti-virus server that "scans files
+// in parallel and deletes malicious ones". A listener thread accepts
+// clamdscan connections; handler threads parse SCAN commands and fan the
+// target directory's files out to a pool of scanner threads; infected
+// files are removed from the container filesystem. The workload's 18
+// socket calls per request come from clamdscan streaming one command and
+// reading a multi-line report.
+package clamav
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"crane/internal/cfs"
+	"crane/internal/papi"
+)
+
+// Config shapes the daemon.
+type Config struct {
+	// Handlers is the number of connection-handler threads (default 6;
+	// must exceed workload concurrency plus in-flight connection
+	// hand-offs, see DESIGN.md's liveness note).
+	Handlers int
+	// Scanners is the parallel file-scanner pool size (default 8).
+	Scanners int
+	// WorkPerKB is scan compute per 1024 bytes of file content.
+	WorkPerKB int
+	// Port is the clamd listening port (default 3310).
+	Port int
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Handlers: 6, Scanners: 8, WorkPerKB: 40, Port: 3310}
+}
+
+// Program packages the daemon for deployment.
+func Program(cfg Config) papi.Program {
+	if cfg.Port == 0 {
+		cfg.Port = 3310
+	}
+	if cfg.Handlers == 0 {
+		cfg.Handlers = 2
+	}
+	if cfg.Scanners == 0 {
+		cfg.Scanners = 8
+	}
+	if cfg.WorkPerKB == 0 {
+		cfg.WorkPerKB = 40
+	}
+	return papi.Program{
+		Name:    "clamav",
+		Ports:   []int{cfg.Port},
+		Install: Install,
+		New: func(fs *cfs.FS) papi.Instance {
+			return New(cfg, fs)
+		},
+	}
+}
+
+// signature is the test pattern scanned for (the EICAR test file's role).
+const signature = "EICAR-STANDARD-ANTIVIRUS-TEST"
+
+// Install writes the virus database and the source tree the benchmark
+// scans (the paper scans ClamAV's own source and installation
+// directories).
+func Install(fs *cfs.FS) {
+	var db bytes.Buffer
+	db.WriteString("ClamAV-VDB:main:1\n")
+	db.WriteString("Eicar-Test-Signature:" + signature + "\n")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&db, "Sig.%04d:%016x\n", i, papi.DetRand(uint64(i)))
+	}
+	fs.Write("db/main.cvd", db.Bytes())
+
+	// A source tree of deterministic, varied-size files.
+	for i := 0; i < 36; i++ {
+		size := 512 + papi.DetRandN(uint64(i)*7919, 8192)
+		content := make([]byte, 0, size)
+		for len(content) < size {
+			content = append(content,
+				[]byte(fmt.Sprintf("/* src file %d line %d */\n", i, len(content)))...)
+		}
+		fs.Write(fmt.Sprintf("src/clamav/file%02d.c", i), content)
+	}
+	// Two infected files.
+	fs.Write("src/clamav/malware0.bin", []byte("X5O!P%@AP"+signature+"!$H+H*"))
+	fs.Write("src/clamav/deep/malware1.bin", []byte("payload "+signature+" tail"))
+}
+
+// Server is one replica-local clamd instance.
+type Server struct {
+	cfg Config
+	fs  *cfs.FS
+
+	stateMu  sync.Mutex
+	scanned  uint64
+	infected uint64
+}
+
+// New creates an instance bound to the replica filesystem.
+func New(cfg Config, fs *cfs.FS) *Server {
+	return &Server{cfg: cfg, fs: fs}
+}
+
+type snapState struct{ Scanned, Infected uint64 }
+
+// Snapshot implements papi.Instance.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(snapState{s.scanned, s.infected})
+	return buf.Bytes(), err
+}
+
+// Restore implements papi.Instance.
+func (s *Server) Restore(b []byte) error {
+	var st snapState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.scanned, s.infected = st.Scanned, st.Infected
+	return nil
+}
+
+// Totals returns (scanned, infected) counters.
+func (s *Server) Totals() (uint64, uint64) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.scanned, s.infected
+}
+
+// scanJob is one file to scan; result strings are gathered per request.
+type scanJob struct {
+	path    string
+	results *scanResults
+}
+
+type scanResults struct {
+	mu      papi.Mutex
+	cond    papi.Cond
+	pending int
+	found   []string
+	scanned int
+}
+
+// Run implements papi.Instance.
+func (s *Server) Run(t papi.T) {
+	l, err := t.Listen(s.cfg.Port)
+	if err != nil {
+		return
+	}
+	var (
+		jobs   []scanJob
+		jobMu  = t.NewMutex()
+		jobCv  = t.NewCond()
+		connCh []papi.Conn
+		cMu    = t.NewMutex()
+		cCv    = t.NewCond()
+	)
+	// Scanner pool: files from all in-flight requests scan in parallel.
+	for i := 0; i < s.cfg.Scanners; i++ {
+		t.Spawn(fmt.Sprintf("scanner%d", i), func(wt papi.T) {
+			for !wt.Killed() {
+				jobMu.Lock(wt)
+				for len(jobs) == 0 {
+					jobCv.Wait(wt, jobMu)
+				}
+				job := jobs[0]
+				jobs = jobs[1:]
+				jobMu.Unlock(wt)
+				s.scanFile(wt, job)
+			}
+		})
+	}
+	// Handler threads: one connection at a time each.
+	for i := 0; i < s.cfg.Handlers; i++ {
+		t.Spawn(fmt.Sprintf("handler%d", i), func(wt papi.T) {
+			for !wt.Killed() {
+				cMu.Lock(wt)
+				for len(connCh) == 0 {
+					cCv.Wait(wt, cMu)
+				}
+				c := connCh[0]
+				connCh = connCh[1:]
+				cMu.Unlock(wt)
+				s.serveConn(wt, c, &jobs, jobMu, jobCv)
+			}
+		})
+	}
+	for !t.Killed() {
+		if !l.Poll(t, 50*time.Millisecond) {
+			continue
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		cMu.Lock(t)
+		connCh = append(connCh, c)
+		cMu.Unlock(t)
+		cCv.Signal(t)
+	}
+}
+
+func (s *Server) serveConn(t papi.T, c papi.Conn, jobs *[]scanJob, jobMu papi.Mutex, jobCv papi.Cond) {
+	defer c.Close(t)
+	var acc []byte
+	buf := make([]byte, 512)
+	for {
+		i := bytes.IndexByte(acc, '\n')
+		for i < 0 {
+			n, err := c.Recv(t, buf)
+			if err != nil {
+				return
+			}
+			acc = append(acc, buf[:n]...)
+			i = bytes.IndexByte(acc, '\n')
+		}
+		line := strings.TrimSpace(string(acc[:i]))
+		acc = acc[i+1:]
+		parts := strings.SplitN(line, " ", 2)
+		switch parts[0] {
+		case "PING":
+			c.Send(t, []byte("PONG\n"))
+		case "VERSION":
+			c.Send(t, []byte("ClamAV 0.98/crane\n"))
+		case "SCAN", "CONTSCAN", "MULTISCAN":
+			if len(parts) != 2 {
+				c.Send(t, []byte("ERROR: missing path\n"))
+				continue
+			}
+			s.scanTree(t, c, parts[1], jobs, jobMu, jobCv)
+		case "RELOAD":
+			// Re-read the signature database from the container fs.
+			n := s.reloadDB(t)
+			c.Send(t, []byte(fmt.Sprintf("RELOADING %d signatures\n", n)))
+		case "STATS":
+			sc, inf := s.Totals()
+			c.Send(t, []byte(fmt.Sprintf("POOLS: 1\nSCANNED: %d\nINFECTED: %d\nEND\n", sc, inf)))
+		case "END":
+			return
+		default:
+			c.Send(t, []byte("UNKNOWN COMMAND\n"))
+		}
+	}
+}
+
+// scanTree fans the files under root out to the scanner pool, waits for
+// completion, and streams the report.
+func (s *Server) scanTree(t papi.T, c papi.Conn, root string, jobs *[]scanJob, jobMu papi.Mutex, jobCv papi.Cond) {
+	files := s.fs.List(root)
+	res := &scanResults{mu: t.NewMutex(), cond: t.NewCond(), pending: len(files)}
+	if len(files) == 0 {
+		c.Send(t, []byte(root+": no files\nSCAN SUMMARY: scanned 0 infected 0\n"))
+		return
+	}
+	jobMu.Lock(t)
+	for _, f := range files {
+		*jobs = append(*jobs, scanJob{path: f, results: res})
+	}
+	jobMu.Unlock(t)
+	jobCv.Broadcast(t)
+
+	res.mu.Lock(t)
+	for res.pending > 0 {
+		res.cond.Wait(t, res.mu)
+	}
+	found := append([]string(nil), res.found...)
+	scanned := res.scanned
+	res.mu.Unlock(t)
+
+	sort.Strings(found) // deterministic report order
+	var out bytes.Buffer
+	for _, f := range found {
+		fmt.Fprintf(&out, "%s: Eicar-Test-Signature FOUND\n", f)
+	}
+	fmt.Fprintf(&out, "SCAN SUMMARY: scanned %d infected %d\n", scanned, len(found))
+	c.Send(t, out.Bytes())
+
+	s.stateMu.Lock()
+	s.scanned += uint64(scanned)
+	s.infected += uint64(len(found))
+	s.stateMu.Unlock()
+}
+
+// reloadDB re-parses the on-disk virus database and returns the signature
+// count (clamd's RELOAD command).
+func (s *Server) reloadDB(t papi.T) int {
+	db, ok := s.fs.Read("db/main.cvd")
+	if !ok {
+		return 0
+	}
+	t.Work(len(db)/1024 + 1)
+	return bytes.Count(db, []byte("\n")) - 1
+}
+
+// scanFile matches one file against the signature database and deletes it
+// if infected.
+func (s *Server) scanFile(t papi.T, job scanJob) {
+	data, ok := s.fs.Read(job.path)
+	infected := false
+	if ok {
+		// Compute cost proportional to file size, like real signature
+		// matching.
+		t.Work(s.cfg.WorkPerKB * (len(data)/1024 + 1))
+		if bytes.Contains(data, []byte(signature)) {
+			infected = true
+			s.fs.Remove(job.path) // delete malicious file
+		}
+	}
+	job.results.mu.Lock(t)
+	job.results.scanned++
+	if infected {
+		job.results.found = append(job.results.found, job.path)
+	}
+	job.results.pending--
+	done := job.results.pending == 0
+	job.results.mu.Unlock(t)
+	if done {
+		job.results.cond.Broadcast(t)
+	}
+}
+
+var _ papi.Instance = (*Server)(nil)

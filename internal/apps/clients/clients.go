@@ -1,0 +1,359 @@
+// Package clients implements the workload generators of §7: ApacheBench
+// (concurrency-stress HTTP), curl (single requests, the §7.2 PUT/GET
+// micro-benchmark), clamdscan, a MediaTomb transcode driver, and a
+// SysBench-style SQL load. Each speaks the matching server's wire protocol
+// over raw simulated sockets and reports response-time statistics
+// ("we measured each workload's response time as it has direct impact on
+// users ... ran 1K requests ... picked the median value").
+package clients
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crane/internal/simnet"
+)
+
+// Dialer connects a named client to a server port; implementations route
+// to the cluster primary or directly to an un-replicated server.
+type Dialer func(client string, port int) (*simnet.Conn, error)
+
+// Summary aggregates a workload run.
+type Summary struct {
+	Requests int
+	Errors   int
+	Median   time.Duration
+	P90      time.Duration
+	Mean     time.Duration
+	Total    time.Duration
+}
+
+// Throughput returns requests per second over the whole run.
+func (s Summary) Throughput() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	return float64(s.Requests-s.Errors) / s.Total.Seconds()
+}
+
+func summarize(latencies []time.Duration, errs int, total time.Duration) Summary {
+	s := Summary{Requests: len(latencies) + errs, Errors: errs, Total: total}
+	if len(latencies) == 0 {
+		return s
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	s.Median = latencies[len(latencies)/2]
+	s.P90 = latencies[len(latencies)*9/10]
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	s.Mean = sum / time.Duration(len(latencies))
+	return s
+}
+
+// readHTTPResponse reads status line, headers, and a Content-Length body.
+func readHTTPResponse(c *simnet.Conn) (status int, body []byte, err error) {
+	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var acc []byte
+	buf := make([]byte, 4096)
+	headerEnd := -1
+	for headerEnd < 0 {
+		n, rerr := c.Read(buf)
+		acc = append(acc, buf[:n]...)
+		headerEnd = bytes.Index(acc, []byte("\r\n\r\n"))
+		if rerr != nil {
+			if headerEnd < 0 {
+				return 0, nil, rerr
+			}
+			break
+		}
+	}
+	head := string(acc[:headerEnd])
+	rest := acc[headerEnd+4:]
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 {
+		return 0, nil, errors.New("clients: bad status line")
+	}
+	status, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, nil, fmt.Errorf("clients: bad status: %w", err)
+	}
+	want := 0
+	for _, ln := range lines[1:] {
+		if v, ok := strings.CutPrefix(strings.ToLower(ln), "content-length:"); ok {
+			want, _ = strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	for len(rest) < want {
+		n, rerr := c.Read(buf)
+		rest = append(rest, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if len(rest) > want {
+		rest = rest[:want]
+	}
+	return status, rest, nil
+}
+
+// Curl performs one HTTP request over a fresh connection (the paper's curl
+// usage: connect, send, wait, close — Fig. 3).
+func Curl(d Dialer, client string, port int, method, path string, body []byte) (int, []byte, error) {
+	c, err := d(client, port)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer c.Close()
+	var req bytes.Buffer
+	fmt.Fprintf(&req, "%s %s HTTP/1.0\r\nHost: crane\r\n", method, path)
+	if len(body) > 0 {
+		fmt.Fprintf(&req, "Content-Length: %d\r\n", len(body))
+	}
+	req.WriteString("\r\n")
+	req.Write(body)
+	if _, err := c.Write(req.Bytes()); err != nil {
+		return 0, nil, err
+	}
+	return readHTTPResponse(c)
+}
+
+// ApacheBench issues `total` HTTP GETs of path with the given concurrency,
+// one connection per request, mirroring ab's closed-loop workers.
+func ApacheBench(d Dialer, port int, path string, concurrency, total int) Summary {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		next      int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= total {
+					mu.Unlock()
+					return
+				}
+				seq := next
+				next++
+				mu.Unlock()
+				t0 := time.Now()
+				status, _, err := Curl(d, fmt.Sprintf("ab%d:%d", w, seq), port, "GET", path, nil)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || status >= 500 || status == 0 {
+					errs++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return summarize(latencies, errs, time.Since(start))
+}
+
+// lineRequest sends one text line and reads until stop appears (or EOF).
+func lineRequest(d Dialer, client string, port int, line, stop string) (string, error) {
+	c, err := d(client, port)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	c.SetReadDeadline(time.Now().Add(60 * time.Second))
+	var acc []byte
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := c.Read(buf)
+		acc = append(acc, buf[:n]...)
+		if stop != "" && bytes.Contains(acc, []byte(stop)) {
+			return string(acc), nil
+		}
+		if rerr != nil {
+			if rerr == io.EOF && len(acc) > 0 {
+				return string(acc), nil
+			}
+			return string(acc), rerr
+		}
+	}
+}
+
+// ClamdScan asks the daemon to scan path, returning the report. Like
+// clamdscan, it terminates the session with END so the daemon closes the
+// connection from its side.
+func ClamdScan(d Dialer, client string, port int, path string) (string, error) {
+	return lineRequest(d, client, port, "SCAN "+path+"\nEND", "SCAN SUMMARY:")
+}
+
+// ClamBench runs `total` scans with the given concurrency.
+func ClamBench(d Dialer, port int, path string, concurrency, total int) Summary {
+	return lineBench(d, port, "SCAN "+path+"\nEND", "SCAN SUMMARY:", concurrency, total, "cs")
+}
+
+// Transcode asks the media server to transcode name, ending the session
+// with QUIT so the server closes first.
+func Transcode(d Dialer, client string, port int, name string) (string, error) {
+	return lineRequest(d, client, port, "TRANSCODE "+name+"\nQUIT", "DONE ")
+}
+
+// MediaBench runs `total` transcodes with the given concurrency
+// (ApacheBench against MediaTomb's web interface in the paper).
+func MediaBench(d Dialer, port int, name string, concurrency, total int) Summary {
+	return lineBench(d, port, "TRANSCODE "+name+"\nQUIT", "DONE ", concurrency, total, "mb")
+}
+
+func lineBench(d Dialer, port int, line, stop string, concurrency, total int, prefix string) Summary {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		next      int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= total {
+					mu.Unlock()
+					return
+				}
+				seq := next
+				next++
+				mu.Unlock()
+				t0 := time.Now()
+				resp, err := lineRequest(d, fmt.Sprintf("%s%d:%d", prefix, w, seq), port, line, stop)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || strings.Contains(resp, "ERROR") {
+					errs++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return summarize(latencies, errs, time.Since(start))
+}
+
+// SysBenchPrepare creates and populates the sbtest table over one
+// connection (sysbench's prepare phase; this is what makes MySQL's
+// filesystem checkpoint large, Table 2).
+func SysBenchPrepare(d Dialer, client string, port int, rows int) error {
+	c, err := d(client, port)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	send := func(stmt, want string) error {
+		if _, err := c.Write([]byte(stmt + "\n")); err != nil {
+			return err
+		}
+		c.SetReadDeadline(time.Now().Add(60 * time.Second))
+		var acc []byte
+		buf := make([]byte, 512)
+		for !bytes.Contains(acc, []byte("\n")) {
+			n, rerr := c.Read(buf)
+			acc = append(acc, buf[:n]...)
+			if rerr != nil {
+				return fmt.Errorf("clients: sysbench prepare read: %w", rerr)
+			}
+		}
+		if !strings.HasPrefix(string(acc), want) {
+			return fmt.Errorf("clients: %q -> %q", stmt, bytes.TrimSpace(acc))
+		}
+		return nil
+	}
+	if err := send("CREATE TABLE sbtest (id k c pad)", "OK"); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= rows; i++ {
+		stmt := fmt.Sprintf("INSERT INTO sbtest VALUES %d %d 'c-%08d' 'pad-%016x'",
+			i, rng.Intn(rows)+1, i, rng.Int63())
+		if err := send(stmt, "OK"); err != nil {
+			return err
+		}
+	}
+	// End the session server-side, as the mysql client's QUIT does.
+	c.Write([]byte("QUIT\n"))
+	return nil
+}
+
+// SysBench runs `total` random point SELECTs (sysbench oltp read-only's
+// dominant statement) with the given concurrency, each over a fresh
+// session like the other workloads.
+func SysBench(d Dialer, port int, tableRows, concurrency, total int) Summary {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		next      int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for {
+				mu.Lock()
+				if next >= total {
+					mu.Unlock()
+					return
+				}
+				seq := next
+				next++
+				mu.Unlock()
+				id := rng.Intn(tableRows) + 1
+				t0 := time.Now()
+				resp, err := lineRequest(d, fmt.Sprintf("sb%d:%d", w, seq), port,
+					fmt.Sprintf("SELECT * FROM sbtest WHERE id = %d\nQUIT", id), "ROWS ")
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || !strings.HasPrefix(resp, "ROWS") {
+					errs++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return summarize(latencies, errs, time.Since(start))
+}

@@ -1,0 +1,182 @@
+package clients
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crane/internal/simnet"
+)
+
+func TestSummaryStatistics(t *testing.T) {
+	lats := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond,
+		3 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	s := summarize(lats, 2, 100*time.Millisecond)
+	if s.Requests != 7 || s.Errors != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 3*time.Millisecond {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.Mean != 3*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if tp := s.Throughput(); tp < 49 || tp > 51 {
+		t.Fatalf("throughput = %f", tp)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := summarize(nil, 3, time.Second)
+	if s.Requests != 3 || s.Median != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if (Summary{}).Throughput() != 0 {
+		t.Fatal("zero-total throughput not 0")
+	}
+}
+
+// miniHTTP answers one canned HTTP response per connection.
+func miniHTTP(t *testing.T, response string) (Dialer, func()) {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	l, err := net.Listen("srv:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c *simnet.Conn) {
+				buf := make([]byte, 4096)
+				c.SetReadDeadline(time.Now().Add(5 * time.Second))
+				c.Read(buf)
+				c.Write([]byte(response))
+				c.Close()
+			}(c)
+		}
+	}()
+	dial := func(client string, port int) (*simnet.Conn, error) {
+		return net.Dial(simnet.Addr(client), "srv:80")
+	}
+	return dial, func() { l.Close() }
+}
+
+func TestCurlParsesResponse(t *testing.T) {
+	dial, stop := miniHTTP(t, "HTTP/1.0 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+	defer stop()
+	status, body, err := Curl(dial, "c:1", 80, "GET", "/x", nil)
+	if err != nil || status != 200 || string(body) != "hello" {
+		t.Fatalf("Curl = %d, %q, %v", status, body, err)
+	}
+}
+
+func TestCurlSendsBody(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	l, _ := net.Listen("srv:80")
+	defer l.Close()
+	reqCh := make(chan string, 1)
+	go func() {
+		c, _ := l.Accept()
+		buf := make([]byte, 4096)
+		var acc []byte
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for !strings.Contains(string(acc), "BODYEND") {
+			n, err := c.Read(buf)
+			acc = append(acc, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		reqCh <- string(acc)
+		c.Write([]byte("HTTP/1.0 201 Created\r\nContent-Length: 0\r\n\r\n"))
+		c.Close()
+	}()
+	dial := func(client string, port int) (*simnet.Conn, error) {
+		return net.Dial(simnet.Addr(client), "srv:80")
+	}
+	status, _, err := Curl(dial, "c:1", 80, "PUT", "/f", []byte("payload BODYEND"))
+	if err != nil || status != 201 {
+		t.Fatalf("Curl = %d, %v", status, err)
+	}
+	raw := <-reqCh
+	if !strings.Contains(raw, "PUT /f HTTP/1.0") ||
+		!strings.Contains(raw, "Content-Length: 15") ||
+		!strings.Contains(raw, "payload BODYEND") {
+		t.Fatalf("raw request = %q", raw)
+	}
+}
+
+func TestCurlMalformedStatus(t *testing.T) {
+	dial, stop := miniHTTP(t, "NONSENSE\r\n\r\n")
+	defer stop()
+	if _, _, err := Curl(dial, "c:1", 80, "GET", "/", nil); err == nil {
+		t.Fatal("malformed status accepted")
+	}
+}
+
+func TestApacheBenchCountsErrors(t *testing.T) {
+	dial, stop := miniHTTP(t, "HTTP/1.0 500 Oops\r\nContent-Length: 0\r\n\r\n")
+	defer stop()
+	sum := ApacheBench(dial, 80, "/", 2, 6)
+	if sum.Errors != 6 {
+		t.Fatalf("errors = %d, want 6 (500s count as errors)", sum.Errors)
+	}
+}
+
+func TestApacheBenchHappyPath(t *testing.T) {
+	dial, stop := miniHTTP(t, "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok")
+	defer stop()
+	sum := ApacheBench(dial, 80, "/", 3, 9)
+	if sum.Errors != 0 || sum.Requests != 9 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Median <= 0 {
+		t.Fatal("median not measured")
+	}
+}
+
+func TestLineRequestStopsAtPattern(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	l, _ := net.Listen("srv:9")
+	defer l.Close()
+	go func() {
+		c, _ := l.Accept()
+		buf := make([]byte, 64)
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		c.Read(buf)
+		c.Write([]byte("partial...\n"))
+		time.Sleep(time.Millisecond)
+		c.Write([]byte("SCAN SUMMARY: done\n"))
+		// Deliberately leave the connection open: the client must stop
+		// at the pattern, not wait for EOF.
+	}()
+	dial := func(client string, port int) (*simnet.Conn, error) {
+		return net.Dial(simnet.Addr(client), "srv:9")
+	}
+	resp, err := lineRequest(dial, "c:1", 9, "SCAN x", "SCAN SUMMARY:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "partial") || !strings.Contains(resp, "SCAN SUMMARY:") {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestDialerErrorsPropagate(t *testing.T) {
+	bad := func(client string, port int) (*simnet.Conn, error) {
+		return nil, simnet.ErrRefused
+	}
+	if _, _, err := Curl(bad, "c:1", 80, "GET", "/", nil); err == nil {
+		t.Fatal("dial error swallowed")
+	}
+	if _, err := ClamdScan(bad, "c:1", 3310, "x"); err == nil {
+		t.Fatal("dial error swallowed in ClamdScan")
+	}
+	if err := SysBenchPrepare(bad, "c:1", 3306, 1); err == nil {
+		t.Fatal("dial error swallowed in SysBenchPrepare")
+	}
+}

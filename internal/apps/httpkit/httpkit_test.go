@@ -1,0 +1,157 @@
+package httpkit
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"crane/internal/papi"
+)
+
+// stubConn feeds scripted chunks to the Reader and records sends.
+type stubConn struct {
+	chunks [][]byte
+	sent   [][]byte
+}
+
+func (c *stubConn) ID() uint64 { return 1 }
+
+func (c *stubConn) Recv(t papi.T, buf []byte) (int, error) {
+	if len(c.chunks) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(buf, c.chunks[0])
+	if n == len(c.chunks[0]) {
+		c.chunks = c.chunks[1:]
+	} else {
+		c.chunks[0] = c.chunks[0][n:]
+	}
+	return n, nil
+}
+
+func (c *stubConn) Send(t papi.T, data []byte) (int, error) {
+	c.sent = append(c.sent, append([]byte(nil), data...))
+	return len(data), nil
+}
+
+func (c *stubConn) Close(t papi.T) error { return nil }
+
+func TestParseSimpleGet(t *testing.T) {
+	c := &stubConn{chunks: [][]byte{[]byte("GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n")}}
+	r := NewReader(nil, c)
+	req, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Path != "/index.html" || req.Proto != "HTTP/1.0" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Headers["host"] != "x" {
+		t.Fatalf("headers = %v", req.Headers)
+	}
+	if len(req.Body) != 0 {
+		t.Fatal("unexpected body")
+	}
+}
+
+func TestParseBodyAcrossChunks(t *testing.T) {
+	c := &stubConn{chunks: [][]byte{
+		[]byte("PUT /a.php HTT"),
+		[]byte("P/1.0\r\nContent-Length: 11\r\n\r\nhello"),
+		[]byte(" world"),
+	}}
+	r := NewReader(nil, c)
+	req, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "PUT" || string(req.Body) != "hello world" {
+		t.Fatalf("req = %+v body=%q", req, req.Body)
+	}
+}
+
+func TestParsePipelinedRequests(t *testing.T) {
+	c := &stubConn{chunks: [][]byte{
+		[]byte("GET /a HTTP/1.0\r\n\r\nGET /b HTTP/1.0\r\n\r\n"),
+	}}
+	r := NewReader(nil, c)
+	req1, err := r.Next()
+	if err != nil || req1.Path != "/a" {
+		t.Fatalf("req1 = %+v, %v", req1, err)
+	}
+	req2, err := r.Next()
+	if err != nil || req2.Path != "/b" {
+		t.Fatalf("req2 = %+v, %v", req2, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("third Next err = %v", err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, raw := range []string{
+		"GARBAGE\r\n\r\n",
+		"GET /x HTTP/1.0\r\nContent-Length: -5\r\n\r\n",
+		"GET /x HTTP/1.0\r\nContent-Length: xyz\r\n\r\n",
+	} {
+		c := &stubConn{chunks: [][]byte{[]byte(raw)}}
+		if _, err := NewReader(nil, c).Next(); err == nil {
+			t.Fatalf("parsed malformed request %q", raw)
+		}
+	}
+}
+
+func TestResponseWrite(t *testing.T) {
+	c := &stubConn{}
+	resp := &Response{Status: 200, Body: []byte("payload"), Headers: []string{"X-Test: 1"}}
+	if err := resp.Write(nil, c, "srv/1.0", false); err != nil {
+		t.Fatal(err)
+	}
+	got := string(c.sent[0])
+	for _, want := range []string{
+		"HTTP/1.0 200 OK\r\n", "Server: srv/1.0\r\n", "X-Test: 1\r\n",
+		"Content-Length: 7\r\n\r\npayload",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("response %q missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "Date:") {
+		t.Fatal("Date header written with withDate=false")
+	}
+}
+
+func TestResponseWriteWithDate(t *testing.T) {
+	c := &stubConn{}
+	resp := &Response{Status: 404}
+	if err := resp.Write(nil, c, "srv", true); err != nil {
+		t.Fatal(err)
+	}
+	got := string(c.sent[0])
+	if !strings.Contains(got, "Date: ") {
+		t.Fatal("Date header missing")
+	}
+	if !strings.Contains(got, "404 Not Found") {
+		t.Fatalf("status line: %q", got)
+	}
+	// The date is in RFC1123; parsing it back should work.
+	for _, line := range strings.Split(got, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "Date: "); ok {
+			if _, err := time.Parse(time.RFC1123, v); err != nil {
+				t.Fatalf("bad Date %q: %v", v, err)
+			}
+		}
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+		405: "Method Not Allowed", 500: "Internal Server Error", 999: "Status",
+	} {
+		if got := StatusText(code); got != want {
+			t.Errorf("StatusText(%d) = %q", code, got)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package mediatomb reimplements the concurrency structure of the
+// MediaTomb uPnP media server evaluated in §7: clients request transcodes
+// of library media; each request drives a mencoder-like transcoder whose
+// computation dominates request latency (the paper's MediaTomb requests
+// take ~9.7s, giving it the highest time-bubble ratio in Table 1, and its
+// transcoder speeds *up* under Parrot thanks to far fewer synchronization
+// context switches — the one speedup bar of Figure 14).
+//
+// The transcoder splits the video into segments; a small encoder pool
+// processes segments in parallel, with frequent brief codec-lock
+// operations (the 0.9M-sync-context-switch behaviour VTune showed, §7.3).
+package mediatomb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"crane/internal/cfs"
+	"crane/internal/papi"
+)
+
+// Config shapes the server.
+type Config struct {
+	// Handlers is the number of request-handler threads (default 2).
+	Handlers int
+	// Encoders is the parallel segment-encoder pool size (default 6).
+	Encoders int
+	// Segments per transcode and work per segment.
+	Segments       int
+	WorkPerSegment int
+	// SyncsPerSegment is how many brief codec-lock operations each
+	// segment encoder performs (high: mencoder's pathological sync rate).
+	SyncsPerSegment int
+	// Port is the listening port (default 50500).
+	Port int
+}
+
+// DefaultConfig mirrors the paper's setup, scaled to simulation units.
+func DefaultConfig() Config {
+	return Config{Handlers: 6, Encoders: 6, Segments: 12, WorkPerSegment: 600,
+		SyncsPerSegment: 24, Port: 50500}
+}
+
+// Program packages the server for deployment.
+func Program(cfg Config) papi.Program {
+	if cfg.Port == 0 {
+		cfg.Port = 50500
+	}
+	if cfg.Handlers == 0 {
+		cfg.Handlers = 2
+	}
+	if cfg.Encoders == 0 {
+		cfg.Encoders = 6
+	}
+	if cfg.Segments == 0 {
+		cfg.Segments = 12
+	}
+	if cfg.WorkPerSegment == 0 {
+		cfg.WorkPerSegment = 600
+	}
+	if cfg.SyncsPerSegment == 0 {
+		cfg.SyncsPerSegment = 24
+	}
+	return papi.Program{
+		Name:    "mediatomb",
+		Ports:   []int{cfg.Port},
+		Install: Install,
+		New: func(fs *cfs.FS) papi.Instance {
+			return New(cfg, fs)
+		},
+	}
+}
+
+// Install populates the media library (the paper transcodes a 15MB AVI;
+// sizes here are scaled).
+func Install(fs *cfs.FS) {
+	fs.Write("etc/mediatomb/config.xml",
+		[]byte("<config><transcoding enabled=\"yes\"/></config>\n"))
+	for i := 0; i < 4; i++ {
+		size := 32*1024 + papi.DetRandN(uint64(i)*104729, 32*1024)
+		media := make([]byte, size)
+		for j := range media {
+			media[j] = byte(papi.DetRand(uint64(i)<<32 | uint64(j)))
+		}
+		fs.Write(fmt.Sprintf("media/video%d.avi", i), media)
+	}
+	// SQLite-backed library database (the paper names MediaTomb's SQLite
+	// storage as replication-worthy state).
+	fs.Write("db/mediatomb.sqlite", []byte("library:\nvideo0.avi\nvideo1.avi\nvideo2.avi\nvideo3.avi\n"))
+}
+
+// Server is one replica-local MediaTomb instance.
+type Server struct {
+	cfg Config
+	fs  *cfs.FS
+
+	stateMu    sync.Mutex
+	transcoded uint64
+}
+
+// New creates an instance bound to the replica filesystem.
+func New(cfg Config, fs *cfs.FS) *Server {
+	return &Server{cfg: cfg, fs: fs}
+}
+
+// Snapshot implements papi.Instance.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s.transcoded)
+	return buf.Bytes(), err
+}
+
+// Restore implements papi.Instance.
+func (s *Server) Restore(b []byte) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(&s.transcoded)
+}
+
+// Transcoded returns the completed-transcode counter.
+func (s *Server) Transcoded() uint64 {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.transcoded
+}
+
+// segJob is one segment to encode.
+type segJob struct {
+	media []byte
+	index int
+	out   *segResults
+}
+
+type segResults struct {
+	mu      papi.Mutex
+	cond    papi.Cond
+	pending int
+	bytes   int
+}
+
+// Run implements papi.Instance.
+func (s *Server) Run(t papi.T) {
+	l, err := t.Listen(s.cfg.Port)
+	if err != nil {
+		return
+	}
+	var (
+		jobs  []segJob
+		jobMu = t.NewMutex()
+		jobCv = t.NewCond()
+		codec = t.NewMutex() // shared codec/allocator lock
+		conns []papi.Conn
+		cMu   = t.NewMutex()
+		cCv   = t.NewCond()
+	)
+	for i := 0; i < s.cfg.Encoders; i++ {
+		t.Spawn(fmt.Sprintf("encoder%d", i), func(wt papi.T) {
+			for !wt.Killed() {
+				jobMu.Lock(wt)
+				for len(jobs) == 0 {
+					jobCv.Wait(wt, jobMu)
+				}
+				job := jobs[0]
+				jobs = jobs[1:]
+				jobMu.Unlock(wt)
+				s.encodeSegment(wt, job, codec)
+			}
+		})
+	}
+	for i := 0; i < s.cfg.Handlers; i++ {
+		t.Spawn(fmt.Sprintf("mt-handler%d", i), func(wt papi.T) {
+			for !wt.Killed() {
+				cMu.Lock(wt)
+				for len(conns) == 0 {
+					cCv.Wait(wt, cMu)
+				}
+				c := conns[0]
+				conns = conns[1:]
+				cMu.Unlock(wt)
+				s.serveConn(wt, c, &jobs, jobMu, jobCv)
+			}
+		})
+	}
+	for !t.Killed() {
+		if !l.Poll(t, 50*time.Millisecond) {
+			continue
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		cMu.Lock(t)
+		conns = append(conns, c)
+		cMu.Unlock(t)
+		cCv.Signal(t)
+	}
+}
+
+func (s *Server) serveConn(t papi.T, c papi.Conn, jobs *[]segJob, jobMu papi.Mutex, jobCv papi.Cond) {
+	defer c.Close(t)
+	var acc []byte
+	buf := make([]byte, 512)
+	for {
+		i := bytes.IndexByte(acc, '\n')
+		for i < 0 {
+			n, err := c.Recv(t, buf)
+			if err != nil {
+				return
+			}
+			acc = append(acc, buf[:n]...)
+			i = bytes.IndexByte(acc, '\n')
+		}
+		line := strings.TrimSpace(string(acc[:i]))
+		acc = acc[i+1:]
+		parts := strings.Fields(line)
+		if len(parts) == 0 {
+			continue
+		}
+		switch parts[0] {
+		case "LIST":
+			files := s.fs.List("media/")
+			c.Send(t, []byte(strings.Join(files, "\n")+"\n"))
+		case "PROBE":
+			if len(parts) != 2 {
+				c.Send(t, []byte("ERROR usage: PROBE <file>\n"))
+				continue
+			}
+			data, ok := s.fs.Read("media/" + parts[1])
+			if !ok {
+				c.Send(t, []byte("ERROR no such media\n"))
+				continue
+			}
+			// Container probing: deterministic pseudo-metadata.
+			t.Work(len(data) / 4096)
+			c.Send(t, []byte(fmt.Sprintf("MEDIA %s size=%d codec=avi.%x\n",
+				parts[1], len(data), papi.DetRand(uint64(len(data)))%16)))
+		case "TRANSCODE":
+			if len(parts) != 2 {
+				c.Send(t, []byte("ERROR usage: TRANSCODE <file>\n"))
+				continue
+			}
+			s.transcode(t, c, parts[1], jobs, jobMu, jobCv)
+		case "QUIT":
+			return
+		default:
+			c.Send(t, []byte("ERROR unknown command\n"))
+		}
+	}
+}
+
+// transcode fans the media file's segments out to the encoder pool, waits,
+// writes the output container to the filesystem, and reports.
+func (s *Server) transcode(t papi.T, c papi.Conn, name string, jobs *[]segJob, jobMu papi.Mutex, jobCv papi.Cond) {
+	media, ok := s.fs.Read("media/" + name)
+	if !ok {
+		c.Send(t, []byte("ERROR no such media\n"))
+		return
+	}
+	res := &segResults{mu: t.NewMutex(), cond: t.NewCond(), pending: s.cfg.Segments}
+	segSize := len(media) / s.cfg.Segments
+	jobMu.Lock(t)
+	for i := 0; i < s.cfg.Segments; i++ {
+		lo := i * segSize
+		hi := lo + segSize
+		if i == s.cfg.Segments-1 {
+			hi = len(media)
+		}
+		*jobs = append(*jobs, segJob{media: media[lo:hi], index: i, out: res})
+	}
+	jobMu.Unlock(t)
+	jobCv.Broadcast(t)
+
+	res.mu.Lock(t)
+	for res.pending > 0 {
+		res.cond.Wait(t, res.mu)
+	}
+	outBytes := res.bytes
+	res.mu.Unlock(t)
+
+	outName := "work/" + strings.TrimSuffix(name, ".avi") + ".mp4"
+	out := []byte(fmt.Sprintf("MP4 transcode of %s: %d bytes from %d segments\n",
+		name, outBytes, s.cfg.Segments))
+	s.fs.Write(outName, out)
+	s.stateMu.Lock()
+	s.transcoded++
+	s.stateMu.Unlock()
+	c.Send(t, []byte(fmt.Sprintf("DONE %s %d\n", outName, outBytes)))
+}
+
+// encodeSegment performs the compute for one segment with frequent brief
+// codec-lock operations, mirroring mencoder's sync-heavy profile.
+func (s *Server) encodeSegment(t papi.T, job segJob, codec papi.Mutex) {
+	per := s.cfg.WorkPerSegment / s.cfg.SyncsPerSegment
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < s.cfg.SyncsPerSegment; i++ {
+		codec.Lock(t)
+		codec.Unlock(t)
+		t.Work(per)
+	}
+	job.out.mu.Lock(t)
+	job.out.bytes += len(job.media) / 2 // "compressed" size
+	job.out.pending--
+	done := job.out.pending == 0
+	job.out.mu.Unlock(t)
+	if done {
+		job.out.cond.Broadcast(t)
+	}
+}
+
+var _ papi.Instance = (*Server)(nil)

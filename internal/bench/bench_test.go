@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"crane/internal/crane"
+)
+
+func TestSpecsShape(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("%d specs, want the paper's 5 servers", len(specs))
+	}
+	names := map[string]bool{}
+	hints := 0
+	for _, s := range specs {
+		if s.Name == "" || s.Port == 0 || s.Program == nil || s.Workload == nil {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+		names[s.Name] = true
+		if s.HintsApply {
+			hints++
+		}
+		prog := s.Program(false)
+		if prog.New == nil || len(prog.Ports) == 0 {
+			t.Fatalf("%s builds incomplete program", s.Name)
+		}
+	}
+	for _, want := range []string{"Apache", "Mongoose", "ClamAV", "MediaTomb", "MySQL"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if hints != 2 {
+		t.Fatalf("%d hint-taking servers, want 2 (Apache, Mongoose)", hints)
+	}
+}
+
+func TestRunCellBaseline(t *testing.T) {
+	// The cheapest cell: MySQL under the un-replicated baseline.
+	spec := Specs()[4]
+	s := Scale{Requests: 4, Concurrency: 2, PrepareRows: 5}
+	cell, err := RunCell(spec, ClusterConfig(crane.ModeNondet), false, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Summary.Errors != 0 {
+		t.Fatalf("cell errors: %+v", cell.Summary)
+	}
+	if cell.Summary.Median <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if cell.ClientCalls != 0 {
+		t.Fatal("baseline reported consensus traffic")
+	}
+	if !strings.EqualFold(cell.Mode, "nondet") {
+		t.Fatalf("mode = %q", cell.Mode)
+	}
+}
+
+func TestRunCellCraneCountsBubbles(t *testing.T) {
+	spec := Specs()[4]
+	s := Scale{Requests: 4, Concurrency: 2, PrepareRows: 5}
+	cell, err := RunCell(spec, ClusterConfig(crane.ModeCrane), false, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Summary.Errors != 0 {
+		t.Fatalf("cell errors: %+v", cell.Summary)
+	}
+	if cell.ClientCalls == 0 || cell.Bubbles == 0 {
+		t.Fatalf("consensus accounting empty: %+v", cell)
+	}
+	if cell.BubbleRatio <= 0 || cell.BubbleRatio >= 1 {
+		t.Fatalf("bubble ratio = %f", cell.BubbleRatio)
+	}
+}
+
+func TestClusterConfigDefaults(t *testing.T) {
+	cfg := ClusterConfig(crane.ModeCrane)
+	if cfg.Wtimeout.Microseconds() != 100 {
+		t.Fatalf("Wtimeout = %v, want the paper's 100µs default", cfg.Wtimeout)
+	}
+	if cfg.Nclock != 1000 {
+		t.Fatalf("Nclock = %d, want the paper's 1000 default", cfg.Nclock)
+	}
+	if cfg.Replicas != 3 {
+		t.Fatalf("Replicas = %d, want the paper's 3-replica deployment", cfg.Replicas)
+	}
+}

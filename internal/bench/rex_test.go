@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblationRexSmoke(t *testing.T) {
+	res, err := AblationRex(Scale{Requests: 6, Concurrency: 2, PrepareRows: 5}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScheduleOps == 0 || res.ScheduleBytesPerR == 0 {
+		t.Fatalf("no schedule recorded: %+v", res)
+	}
+	if res.InputBytesPerR == 0 {
+		t.Fatalf("no input bytes: %+v", res)
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("expected schedule stream to dominate: %+v", res)
+	}
+}

@@ -1,0 +1,79 @@
+package cfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func populated(files, size int) *FS {
+	f := New()
+	for i := 0; i < files; i++ {
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte('a' + (i+j)%26)
+			if j%64 == 63 {
+				data[j] = '\n'
+			}
+		}
+		f.Write(fmt.Sprintf("dir/file%04d.txt", i), data)
+	}
+	return f
+}
+
+// BenchmarkDiffUnchanged measures the no-op incremental checkpoint (the
+// common per-minute case: nothing changed since the base snapshot).
+func BenchmarkDiffUnchanged(b *testing.B) {
+	f := populated(100, 4096)
+	base := f.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := f.Diff(base); !p.Empty() {
+			b.Fatal("unexpected ops")
+		}
+	}
+}
+
+// BenchmarkDiffSmallChange measures the incremental checkpoint after a
+// one-file, few-line change (Table 2's "C fs" behaviour).
+func BenchmarkDiffSmallChange(b *testing.B) {
+	f := populated(100, 4096)
+	base := f.Snapshot()
+	data, _ := f.Read("dir/file0050.txt")
+	data[100] = 'Z'
+	f.Write("dir/file0050.txt", data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := f.Diff(base); len(p.Ops) != 1 {
+			b.Fatalf("ops = %d", len(p.Ops))
+		}
+	}
+}
+
+// BenchmarkApplyPatch measures restore cost (base + patch).
+func BenchmarkApplyPatch(b *testing.B) {
+	f := populated(100, 4096)
+	base := f.Snapshot()
+	f.Write("dir/new.txt", make([]byte, 8192))
+	data, _ := f.Read("dir/file0000.txt")
+	data[0] = 'Q'
+	f.Write("dir/file0000.txt", data)
+	patch := f.Diff(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := base.NewFS()
+		if err := fs.Apply(patch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot measures base-image capture.
+func BenchmarkSnapshot(b *testing.B) {
+	f := populated(100, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := f.Snapshot(); s.FileCount() != 100 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package cfs is an in-memory container filesystem: the stand-in for the
+// LXC container image of §5.2. A replica's server program runs against its
+// own FS (same clean initial state on every replica — one of the paper's
+// stated benefits of the container). Checkpointing takes an incremental
+// patch of the working/installation directories against a base snapshot
+// ("diff --text" in the paper); restoring applies the patch to a fresh
+// base, which is why restores are much cheaper than checkpoints (Table 2).
+//
+// Text files diff at line granularity (common prefix/suffix trimmed, the
+// changed middle shipped), binary files ship whole — mirroring the size
+// behaviour of the original's text diffs.
+package cfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FS is a flat-namespace filesystem (paths are slash-separated keys, as in
+// an archive). Safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// New creates an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// Write creates or replaces the file at path.
+func (f *FS) Write(path string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path] = append([]byte(nil), data...)
+}
+
+// Append appends data to the file at path, creating it if absent.
+func (f *FS) Append(path string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path] = append(f.files[path], data...)
+}
+
+// Read returns the file's contents and whether it exists.
+func (f *FS) Read(path string) ([]byte, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	data, ok := f.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Remove deletes the file at path; it reports whether it existed.
+func (f *FS) Remove(path string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.files[path]
+	delete(f.files, path)
+	return ok
+}
+
+// Exists reports whether path exists.
+func (f *FS) Exists(path string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.files[path]
+	return ok
+}
+
+// Size returns the length of the file at path (0 if absent).
+func (f *FS) Size(path string) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.files[path])
+}
+
+// List returns all paths with the given prefix, sorted.
+func (f *FS) List(prefix string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []string
+	for p := range f.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the summed size of all files (Table 2's fs cost is
+// proportional to this for the base snapshot and to the delta for
+// incremental checkpoints).
+func (f *FS) TotalBytes() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, d := range f.files {
+		n += len(d)
+	}
+	return n
+}
+
+// FileCount returns the number of files.
+func (f *FS) FileCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.files)
+}
+
+// Snapshot is an immutable point-in-time copy of an FS.
+type Snapshot struct {
+	files map[string][]byte
+}
+
+// Snapshot captures the current state (the LXC snapshot taken before any
+// server starts, and the source state of incremental diffs).
+func (f *FS) Snapshot() *Snapshot {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := &Snapshot{files: make(map[string][]byte, len(f.files))}
+	for p, d := range f.files {
+		s.files[p] = append([]byte(nil), d...)
+	}
+	return s
+}
+
+// NewFS materializes a fresh FS from the snapshot.
+func (s *Snapshot) NewFS() *FS {
+	f := New()
+	for p, d := range s.files {
+		f.files[p] = append([]byte(nil), d...)
+	}
+	return f
+}
+
+// FileCount returns the number of files in the snapshot.
+func (s *Snapshot) FileCount() int { return len(s.files) }
+
+// OpKind discriminates patch operations.
+type OpKind uint8
+
+// Patch operation kinds.
+const (
+	// OpPut replaces (or creates) a whole file.
+	OpPut OpKind = iota + 1
+	// OpDelete removes a file.
+	OpDelete
+	// OpSplice replaces the byte range [Off, Off+Cut) with Data —
+	// produced by the line-granular text diff.
+	OpSplice
+)
+
+// Op is one patch operation.
+type Op struct {
+	Kind OpKind
+	Path string
+	Off  int
+	Cut  int
+	Data []byte
+}
+
+// Patch is an ordered set of operations turning a base snapshot's state
+// into the diffed state.
+type Patch struct {
+	Ops []Op
+}
+
+// Bytes returns the payload size of the patch, the quantity the paper's
+// "C fs" cost tracks.
+func (p *Patch) Bytes() int {
+	n := 0
+	for _, op := range p.Ops {
+		n += len(op.Data) + len(op.Path) + 16
+	}
+	return n
+}
+
+// Empty reports whether the patch changes nothing.
+func (p *Patch) Empty() bool { return len(p.Ops) == 0 }
+
+// Diff computes the incremental patch from base to the FS's current state.
+func (f *FS) Diff(base *Snapshot) *Patch {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	patch := &Patch{}
+	// Deterministic op order: sorted paths.
+	paths := make([]string, 0, len(f.files))
+	for p := range f.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		cur := f.files[p]
+		old, existed := base.files[p]
+		if !existed {
+			patch.Ops = append(patch.Ops, Op{Kind: OpPut, Path: p, Data: append([]byte(nil), cur...)})
+			continue
+		}
+		if bytes.Equal(old, cur) {
+			continue
+		}
+		if op, ok := spliceDiff(p, old, cur); ok {
+			patch.Ops = append(patch.Ops, op)
+		} else {
+			patch.Ops = append(patch.Ops, Op{Kind: OpPut, Path: p, Data: append([]byte(nil), cur...)})
+		}
+	}
+	// Deletions.
+	var deleted []string
+	for p := range base.files {
+		if _, ok := f.files[p]; !ok {
+			deleted = append(deleted, p)
+		}
+	}
+	sort.Strings(deleted)
+	for _, p := range deleted {
+		patch.Ops = append(patch.Ops, Op{Kind: OpDelete, Path: p})
+	}
+	return patch
+}
+
+// spliceDiff computes a line-granular splice: the longest common prefix and
+// suffix of whole lines are kept; the middle is replaced. It reports false
+// when a whole-file put would be no larger.
+func spliceDiff(path string, old, cur []byte) (Op, bool) {
+	// Common prefix ending at a line boundary.
+	n := len(old)
+	if len(cur) < n {
+		n = len(cur)
+	}
+	i := 0
+	for i < n && old[i] == cur[i] {
+		i++
+	}
+	// Retreat to the previous newline so the splice is line-aligned.
+	p := i
+	for p > 0 && old[p-1] != '\n' {
+		p--
+	}
+	// Common suffix starting at a line boundary.
+	j := 0
+	for j < n-p && old[len(old)-1-j] == cur[len(cur)-1-j] {
+		j++
+	}
+	s := j
+	for s > 0 && old[len(old)-s] != '\n' {
+		s--
+	}
+	cut := len(old) - p - s
+	data := append([]byte(nil), cur[p:len(cur)-s]...)
+	if len(data)+32 >= len(cur) {
+		return Op{}, false // splice saves nothing
+	}
+	return Op{Kind: OpSplice, Path: path, Off: p, Cut: cut, Data: data}, true
+}
+
+// Apply applies the patch (a restore: base snapshot + patch = checkpointed
+// state). It errors if a splice target is missing or too short.
+func (f *FS) Apply(patch *Patch) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, op := range patch.Ops {
+		switch op.Kind {
+		case OpPut:
+			f.files[op.Path] = append([]byte(nil), op.Data...)
+		case OpDelete:
+			delete(f.files, op.Path)
+		case OpSplice:
+			old, ok := f.files[op.Path]
+			if !ok {
+				return fmt.Errorf("cfs: splice target %q missing", op.Path)
+			}
+			if op.Off+op.Cut > len(old) {
+				return fmt.Errorf("cfs: splice out of range for %q", op.Path)
+			}
+			next := make([]byte, 0, len(old)-op.Cut+len(op.Data))
+			next = append(next, old[:op.Off]...)
+			next = append(next, op.Data...)
+			next = append(next, old[op.Off+op.Cut:]...)
+			f.files[op.Path] = next
+		default:
+			return fmt.Errorf("cfs: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two filesystems hold identical content.
+func Equal(a, b *FS) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(a.files) != len(b.files) {
+		return false
+	}
+	for p, d := range a.files {
+		if !bytes.Equal(d, b.files[p]) {
+			return false
+		}
+	}
+	return true
+}

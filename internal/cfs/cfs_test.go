@@ -1,0 +1,245 @@
+package cfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicFileOps(t *testing.T) {
+	f := New()
+	f.Write("a/b.txt", []byte("hello"))
+	if d, ok := f.Read("a/b.txt"); !ok || string(d) != "hello" {
+		t.Fatalf("Read = %q, %v", d, ok)
+	}
+	f.Append("a/b.txt", []byte(" world"))
+	if d, _ := f.Read("a/b.txt"); string(d) != "hello world" {
+		t.Fatalf("after Append: %q", d)
+	}
+	if !f.Exists("a/b.txt") || f.Exists("nope") {
+		t.Fatal("Exists broken")
+	}
+	if f.Size("a/b.txt") != 11 || f.Size("nope") != 0 {
+		t.Fatal("Size broken")
+	}
+	if !f.Remove("a/b.txt") || f.Remove("a/b.txt") {
+		t.Fatal("Remove broken")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	f := New()
+	f.Write("x", []byte("abc"))
+	d, _ := f.Read("x")
+	d[0] = 'Z'
+	if d2, _ := f.Read("x"); string(d2) != "abc" {
+		t.Fatal("Read exposed internal buffer")
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	f := New()
+	f.Write("www/a.php", nil)
+	f.Write("www/b.php", nil)
+	f.Write("db/t1", nil)
+	got := f.List("www/")
+	if len(got) != 2 || got[0] != "www/a.php" || got[1] != "www/b.php" {
+		t.Fatalf("List = %v", got)
+	}
+	if n := len(f.List("")); n != 3 {
+		t.Fatalf("List(\"\") = %d entries", n)
+	}
+}
+
+func TestTotalBytesAndFileCount(t *testing.T) {
+	f := New()
+	f.Write("a", make([]byte, 100))
+	f.Write("b", make([]byte, 50))
+	if f.TotalBytes() != 150 || f.FileCount() != 2 {
+		t.Fatalf("TotalBytes=%d FileCount=%d", f.TotalBytes(), f.FileCount())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	f := New()
+	f.Write("a", []byte("v1"))
+	snap := f.Snapshot()
+	f.Write("a", []byte("v2"))
+	restored := snap.NewFS()
+	if d, _ := restored.Read("a"); string(d) != "v1" {
+		t.Fatalf("snapshot leaked later writes: %q", d)
+	}
+	if snap.FileCount() != 1 {
+		t.Fatal("snapshot FileCount wrong")
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	f := New()
+	f.Write("keep", []byte("unchanged"))
+	f.Write("mod", []byte("line1\nline2\nline3\n"))
+	f.Write("del", []byte("going away"))
+	base := f.Snapshot()
+
+	f.Write("mod", []byte("line1\nCHANGED\nline3\n"))
+	f.Write("new", []byte("fresh"))
+	f.Remove("del")
+
+	patch := f.Diff(base)
+	restored := base.NewFS()
+	if err := restored.Apply(patch); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(f, restored) {
+		t.Fatal("base + patch != current state")
+	}
+}
+
+func TestDiffIsIncremental(t *testing.T) {
+	// A big unchanged file must not appear in the patch; a small change to
+	// a big text file must ship only the changed lines (the paper's
+	// incremental "diff --text" behaviour).
+	f := New()
+	var big strings.Builder
+	for i := 0; i < 10000; i++ {
+		fmt.Fprintf(&big, "row %06d: some database tuple content\n", i)
+	}
+	f.Write("db/table", []byte(big.String()))
+	f.Write("static", make([]byte, 1<<20))
+	base := f.Snapshot()
+
+	// Change one line in the middle.
+	content := big.String()
+	changed := strings.Replace(content, "row 005000:", "ROW 005000:", 1)
+	f.Write("db/table", []byte(changed))
+
+	patch := f.Diff(base)
+	if patch.Bytes() > 4096 {
+		t.Fatalf("patch is %d bytes for a one-line change", patch.Bytes())
+	}
+	restored := base.NewFS()
+	if err := restored.Apply(patch); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(f, restored) {
+		t.Fatal("incremental patch did not reproduce state")
+	}
+}
+
+func TestEmptyDiff(t *testing.T) {
+	f := New()
+	f.Write("a", []byte("x"))
+	base := f.Snapshot()
+	patch := f.Diff(base)
+	if !patch.Empty() {
+		t.Fatalf("unchanged FS produced %d ops", len(patch.Ops))
+	}
+}
+
+func TestSpliceErrors(t *testing.T) {
+	f := New()
+	if err := f.Apply(&Patch{Ops: []Op{{Kind: OpSplice, Path: "missing", Data: []byte("x")}}}); err == nil {
+		t.Fatal("splice on missing file succeeded")
+	}
+	f.Write("short", []byte("ab"))
+	if err := f.Apply(&Patch{Ops: []Op{{Kind: OpSplice, Path: "short", Off: 1, Cut: 5}}}); err == nil {
+		t.Fatal("out-of-range splice succeeded")
+	}
+	if err := f.Apply(&Patch{Ops: []Op{{Kind: 99}}}); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestBinaryFilesShipWhole(t *testing.T) {
+	f := New()
+	bin := make([]byte, 1000)
+	for i := range bin {
+		bin[i] = byte(i)
+	}
+	f.Write("blob", bin)
+	base := f.Snapshot()
+	bin2 := append([]byte(nil), bin...)
+	for i := 0; i < len(bin2); i += 3 {
+		bin2[i] ^= 0xFF // pervasive change: splice won't help
+	}
+	f.Write("blob", bin2)
+	patch := f.Diff(base)
+	restored := base.NewFS()
+	if err := restored.Apply(patch); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(f, restored) {
+		t.Fatal("binary round trip failed")
+	}
+}
+
+// Property: for random mutation sequences, base snapshot + Diff = current.
+func TestQuickDiffApplyEquivalence(t *testing.T) {
+	type mutation struct {
+		Path byte
+		Op   byte
+		Data []byte
+	}
+	f := func(initial map[byte][]byte, muts []mutation) bool {
+		fs := New()
+		for p, d := range initial {
+			fs.Write(fmt.Sprintf("f%d", p%8), d)
+		}
+		base := fs.Snapshot()
+		for _, m := range muts {
+			path := fmt.Sprintf("f%d", m.Path%8)
+			switch m.Op % 3 {
+			case 0:
+				fs.Write(path, m.Data)
+			case 1:
+				fs.Append(path, m.Data)
+			case 2:
+				fs.Remove(path)
+			}
+		}
+		patch := fs.Diff(base)
+		restored := base.NewFS()
+		if err := restored.Apply(patch); err != nil {
+			return false
+		}
+		return Equal(fs, restored)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: line-oriented edits to a text file always round trip and the
+// patch for a k-line change is bounded well below the file size.
+func TestQuickTextSplice(t *testing.T) {
+	f := func(seed int64, nLines uint8, editAt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nLines)%200 + 20
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("line %d content %d", i, rng.Intn(1000))
+		}
+		old := strings.Join(lines, "\n") + "\n"
+		k := int(editAt) % n
+		lines[k] = "EDITED " + lines[k]
+		cur := strings.Join(lines, "\n") + "\n"
+
+		fs := New()
+		fs.Write("t", []byte(old))
+		base := fs.Snapshot()
+		fs.Write("t", []byte(cur))
+		patch := fs.Diff(base)
+		restored := base.NewFS()
+		if err := restored.Apply(patch); err != nil {
+			return false
+		}
+		got, _ := restored.Read("t")
+		return bytes.Equal(got, []byte(cur))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

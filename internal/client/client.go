@@ -1,0 +1,188 @@
+// Package client is the client-side library for talking to a CRANE
+// deployment. The paper's clients "send network requests to the primary"
+// (§2) — but only the primary's proxy accepts connections, and the primary
+// can change at any failover, so a real client needs discovery and retry.
+// This package provides both: it rotates across the replica set, detects
+// backup refusals (immediate close without a response), remembers the last
+// working replica, and retries requests across leader changes.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"crane/internal/simnet"
+)
+
+// Config configures a Client.
+type Config struct {
+	// Net is the network the replicas live on.
+	Net *simnet.Network
+	// Hosts are the replica host names (e.g. replica0, replica1, ...).
+	Hosts []string
+	// LocalHost names this client on the network (default "client").
+	LocalHost string
+	// RequestTimeout bounds one attempt's response wait (default 10s).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds request retries across replicas and leader
+	// changes (default 3 passes over the replica set).
+	MaxAttempts int
+	// RetryBackoff is the pause between failed attempts (default 2ms).
+	RetryBackoff time.Duration
+}
+
+// Client is a failover-aware CRANE client. Safe for concurrent use; each
+// request opens its own connection (the evaluation workloads' pattern,
+// Fig. 3/6).
+type Client struct {
+	cfg Config
+
+	mu      sync.Mutex
+	current int // index of the last replica that served us
+	seq     int // connection counter for unique client addresses
+}
+
+// ErrExhausted is returned when every attempt failed.
+var ErrExhausted = errors.New("client: all replicas refused or failed")
+
+// New creates a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("client: nil network")
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, errors.New("client: no replica hosts")
+	}
+	if cfg.LocalHost == "" {
+		cfg.LocalHost = "client"
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3 * len(cfg.Hosts)
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// next returns the replica index to try and a unique local address.
+func (c *Client) next(rotate bool) (int, simnet.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rotate {
+		c.current = (c.current + 1) % len(c.cfg.Hosts)
+	}
+	c.seq++
+	return c.current, simnet.Addr(fmt.Sprintf("%s:%d", c.cfg.LocalHost, c.seq))
+}
+
+// Request sends payload over a fresh connection to the current primary and
+// reads the response until `done` reports completion (e.g. a terminator
+// line or byte count). A backup target (connection closed without data) or
+// a mid-request leader change triggers rotation and retry.
+//
+// Note the inherent SMR caveat the paper shares: a retry after a partial
+// failure may re-execute a non-idempotent request; the evaluation
+// workloads are request/response and tolerate this.
+func (c *Client) Request(port int, payload []byte, done func(resp []byte) bool) ([]byte, error) {
+	var lastErr error = ErrExhausted
+	rotate := false
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		idx, local := c.next(rotate)
+		rotate = true // on any failure move to the next replica
+		target := simnet.Addr(fmt.Sprintf("%s:%d", c.cfg.Hosts[idx], port))
+		conn, err := c.cfg.Net.Dial(local, target)
+		if err != nil {
+			lastErr = err
+			time.Sleep(c.cfg.RetryBackoff)
+			continue
+		}
+		resp, err := c.exchange(conn, payload, done)
+		conn.Close()
+		if err == nil {
+			// This replica served us: stick with it.
+			c.mu.Lock()
+			c.current = idx
+			c.mu.Unlock()
+			return resp, nil
+		}
+		lastErr = err
+		time.Sleep(c.cfg.RetryBackoff)
+	}
+	return nil, lastErr
+}
+
+func (c *Client) exchange(conn *simnet.Conn, payload []byte, done func([]byte) bool) ([]byte, error) {
+	if _, err := conn.Write(payload); err != nil {
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	var resp []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		resp = append(resp, buf[:n]...)
+		if done(resp) {
+			return resp, nil
+		}
+		if err != nil {
+			if err == io.EOF && len(resp) > 0 && done(resp) {
+				return resp, nil
+			}
+			if err == io.EOF && len(resp) == 0 {
+				// A backup's proxy refuses by closing immediately.
+				return nil, fmt.Errorf("client: replica refused (backup?): %w", ErrExhausted)
+			}
+			return resp, fmt.Errorf("client: read: %w", err)
+		}
+	}
+}
+
+// UntilLine returns a completion check that fires once a full line
+// (terminated by \n) has arrived.
+func UntilLine() func([]byte) bool {
+	return func(b []byte) bool {
+		for _, ch := range b {
+			if ch == '\n' {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// UntilBytes returns a completion check that fires at n response bytes.
+func UntilBytes(n int) func([]byte) bool {
+	return func(b []byte) bool { return len(b) >= n }
+}
+
+// UntilContains returns a completion check that fires when the response
+// contains the given marker.
+func UntilContains(marker string) func([]byte) bool {
+	m := []byte(marker)
+	return func(b []byte) bool {
+		return len(b) >= len(m) && contains(b, m)
+	}
+}
+
+func contains(b, sub []byte) bool {
+	if len(sub) == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+len(sub) <= len(b); i++ {
+		for j := range sub {
+			if b[i+j] != sub[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

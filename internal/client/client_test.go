@@ -1,0 +1,221 @@
+package client
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crane/internal/cfs"
+	"crane/internal/crane"
+	"crane/internal/papi"
+	"crane/internal/simnet"
+)
+
+// kv is the familiar replicated store used as the test target.
+type kv struct {
+	workers int
+	mu      sync.Mutex
+	data    map[string]string
+}
+
+func (s *kv) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s.data)
+	return buf.Bytes(), err
+}
+
+func (s *kv) Restore(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(&s.data)
+}
+
+func (s *kv) Run(t papi.T) {
+	l, err := t.Listen(9300)
+	if err != nil {
+		return
+	}
+	var (
+		wl      []papi.Conn
+		wlMu    = t.NewMutex()
+		wlCv    = t.NewCond()
+		stateMu = t.NewMutex()
+	)
+	for i := 0; i < s.workers; i++ {
+		t.Spawn(fmt.Sprintf("w%d", i), func(wt papi.T) {
+			for !wt.Killed() {
+				wlMu.Lock(wt)
+				for len(wl) == 0 {
+					wlCv.Wait(wt, wlMu)
+				}
+				c := wl[0]
+				wl = wl[1:]
+				wlMu.Unlock(wt)
+				s.serve(wt, c, stateMu)
+			}
+		})
+	}
+	for !t.Killed() {
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		wlMu.Lock(t)
+		wl = append(wl, c)
+		wlMu.Unlock(t)
+		wlCv.Signal(t)
+	}
+}
+
+func (s *kv) serve(t papi.T, c papi.Conn, stateMu papi.Mutex) {
+	defer c.Close(t)
+	buf := make([]byte, 256)
+	var acc []byte
+	for {
+		i := bytes.IndexByte(acc, '\n')
+		for i < 0 {
+			n, err := c.Recv(t, buf)
+			if err != nil {
+				return
+			}
+			acc = append(acc, buf[:n]...)
+			i = bytes.IndexByte(acc, '\n')
+		}
+		parts := strings.SplitN(strings.TrimSpace(string(acc[:i])), " ", 3)
+		acc = acc[i+1:]
+		var resp string
+		stateMu.Lock(t)
+		s.mu.Lock()
+		switch parts[0] {
+		case "SET":
+			s.data[parts[1]] = parts[2]
+			resp = "OK\n"
+		case "GET":
+			if v, ok := s.data[parts[1]]; ok {
+				resp = "VALUE " + v + "\n"
+			} else {
+				resp = "NONE\n"
+			}
+		default:
+			resp = "ERR\n"
+		}
+		s.mu.Unlock()
+		stateMu.Unlock(t)
+		if _, err := c.Send(t, []byte(resp)); err != nil {
+			return
+		}
+	}
+}
+
+func startKV(t *testing.T) (*crane.Cluster, *Client) {
+	t.Helper()
+	prog := papi.Program{
+		Name:  "kv",
+		Ports: []int{9300},
+		New: func(fs *cfs.FS) papi.Instance {
+			return &kv{workers: 8, data: make(map[string]string)}
+		},
+	}
+	cluster, err := crane.StartCluster(crane.Config{
+		Mode:              crane.ModeCrane,
+		Replicas:          3,
+		NetOptions:        simnet.Options{Latency: 40 * time.Microsecond},
+		HeartbeatInterval: 20 * time.Millisecond,
+		ElectionTimeout:   120 * time.Millisecond,
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	cl, err := New(Config{
+		Net:   cluster.Net(),
+		Hosts: []string{"replica0", "replica1", "replica2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, cl
+}
+
+func TestClientFindsPrimary(t *testing.T) {
+	_, cl := startKV(t)
+	resp, err := cl.Request(9300, []byte("SET a 1\n"), UntilLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(resp)) != "OK" {
+		t.Fatalf("resp = %q", resp)
+	}
+	resp, err = cl.Request(9300, []byte("GET a\n"), UntilLine())
+	if err != nil || strings.TrimSpace(string(resp)) != "VALUE 1" {
+		t.Fatalf("GET = %q, %v", resp, err)
+	}
+}
+
+func TestClientSurvivesFailover(t *testing.T) {
+	cluster, cl := startKV(t)
+	if _, err := cl.Request(9300, []byte("SET key before\n"), UntilLine()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	// The client must discover the new primary on its own.
+	deadline := time.Now().Add(15 * time.Second)
+	var resp []byte
+	var err error
+	for time.Now().Before(deadline) {
+		resp, err = cl.Request(9300, []byte("GET key\n"), UntilLine())
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("post-failover request: %v", err)
+	}
+	if strings.TrimSpace(string(resp)) != "VALUE before" {
+		t.Fatalf("post-failover GET = %q", resp)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := New(Config{Net: simnet.New(simnet.Options{})}); err == nil {
+		t.Fatal("empty hosts accepted")
+	}
+}
+
+func TestCompletionHelpers(t *testing.T) {
+	if !UntilLine()([]byte("x\n")) || UntilLine()([]byte("x")) {
+		t.Fatal("UntilLine broken")
+	}
+	if !UntilBytes(3)([]byte("abc")) || UntilBytes(3)([]byte("ab")) {
+		t.Fatal("UntilBytes broken")
+	}
+	if !UntilContains("END")([]byte("...END...")) || UntilContains("END")([]byte("EN")) {
+		t.Fatal("UntilContains broken")
+	}
+}
+
+func TestClientExhaustsAndReports(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	cl, err := New(Config{Net: net, Hosts: []string{"ghost0", "ghost1"},
+		MaxAttempts: 3, RetryBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Request(1, []byte("x"), UntilLine()); err == nil {
+		t.Fatal("request to ghosts succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+// Package crane assembles the full system of the paper: per-replica
+// proxies, the Paxos consensus component, the DMT scheduler with the CRANE
+// admission gate, time bubbling, checkpointing, and recovery — behind a
+// Cluster API that transparently replicates a papi.Program.
+package crane
+
+import (
+	"time"
+
+	"crane/internal/dmt"
+	"crane/internal/seq"
+)
+
+// acceptKey is the wait-queue key for threads blocked in accept()/poll()
+// on a port; recvKey for threads blocked in recv() on a connection.
+type acceptKey struct{ port int }
+type recvKey struct{ conn uint64 }
+
+// gate is check_add_timebubble (paper Fig. 10), invoked by the DMT
+// scheduler's token holder at every synchronization operation:
+//
+//  1. While the Paxos sequence is empty, spin (the server must not tick
+//     logical clocks, §4 rule 2), asking the proxy to request a time
+//     bubble once the sequence has been empty for W_timeout.
+//  2. If the head is a time bubble, consume one logical clock from it.
+//  3. If the head is a client socket call, signal the thread blocked on
+//     the matching socket operation, if any.
+//
+// With bubbling disabled (the paper's §7.2 "plan II"), step 1 is skipped:
+// socket calls are admitted at whatever logical time they happen to
+// arrive, which is exactly the nondeterminism that makes replicas diverge.
+type gate struct {
+	r        *Replica
+	bubbling bool
+	// spinSleep bounds how hot the empty-sequence spin runs.
+	spinSleep time.Duration
+}
+
+func newGate(r *Replica, bubbling bool) *gate {
+	return &gate{r: r, bubbling: bubbling, spinSleep: 25 * time.Microsecond}
+}
+
+// CheckAdmit implements dmt.Gate.
+func (g *gate) CheckAdmit(t *dmt.Thread) {
+	sq := g.r.sq
+	if g.bubbling {
+		// Exponential backoff: the spin only delays physical time, never
+		// logical time, so backing off is determinism-neutral — and it
+		// keeps a starved replica (e.g. during a leader election) from
+		// monopolizing low-core machines.
+		sleep := g.spinSleep
+		for sq.Empty() {
+			if g.r.killed() {
+				return // the wrapper's next scheduler call unwinds
+			}
+			g.r.maybeRequestBubble()
+			time.Sleep(sleep)
+			if sleep < time.Millisecond {
+				sleep *= 2
+			}
+		}
+	}
+	h, ok := sq.Head()
+	if !ok {
+		return
+	}
+	switch h.Kind {
+	case seq.KindBubble:
+		sq.TickBubble()
+	case seq.KindConnect:
+		t.SignalKey(acceptKey{h.Port})
+	case seq.KindSend, seq.KindClose:
+		if g.r.connClosed(h.Conn) {
+			// The server already closed this connection; its remaining
+			// client calls can never be consumed by a recv. Discard so
+			// the head does not wedge the sequence.
+			sq.PopIfConn(h.Conn)
+			return
+		}
+		t.SignalKey(recvKey{h.Conn})
+	}
+}
+
+// Busy implements dmt.BusyGate: while entries are pending the idle thread
+// must keep rotating (it is the mechanism that exhausts bubble clocks
+// rapidly when every server thread is blocked, §3.1/§4).
+func (g *gate) Busy() bool { return !g.r.sq.Empty() }

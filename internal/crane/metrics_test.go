@@ -1,0 +1,41 @@
+package crane
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsSnapshot(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	kvRequest(t, c, "m:1", "SET a 1")
+	ms := c.ClusterMetrics()
+	if len(ms) != 3 {
+		t.Fatalf("%d metric rows", len(ms))
+	}
+	primaries := 0
+	for _, m := range ms {
+		if m.Primary {
+			primaries++
+		}
+		if m.LogicalClock == 0 {
+			t.Fatalf("replica%d clock = 0", m.Replica)
+		}
+		if m.Threads == 0 {
+			t.Fatalf("replica%d threads = 0", m.Replica)
+		}
+		if m.Seq.ClientCalls == 0 {
+			t.Fatalf("replica%d saw no client calls", m.Replica)
+		}
+		line := m.String()
+		if !strings.Contains(line, "seq{") || !strings.Contains(line, "view=") {
+			t.Fatalf("String() = %q", line)
+		}
+	}
+	if primaries != 1 {
+		t.Fatalf("%d primaries in metrics", primaries)
+	}
+}

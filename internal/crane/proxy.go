@@ -1,0 +1,152 @@
+package crane
+
+import (
+	"fmt"
+	"sync"
+
+	"crane/internal/seq"
+	"crane/internal/simnet"
+)
+
+// proxy is a CRANE instance's gateway (§2.1): it accepts client socket
+// requests, invokes Paxos consensus on each incoming call (connect, data,
+// close), and forwards the server program's responses back to clients. A
+// backup's proxy refuses client connections and never invokes consensus;
+// after failover the new primary's proxy starts accepting.
+type proxy struct {
+	r *Replica
+
+	mu        sync.Mutex
+	listeners []*simnet.Listener
+	conns     map[uint64]*simnet.Conn
+	nextConn  uint64
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+func newProxy(r *Replica) *proxy {
+	return &proxy{r: r, conns: make(map[uint64]*simnet.Conn)}
+}
+
+// start binds the program's ports on this replica's host and begins
+// accepting.
+func (p *proxy) start() error {
+	for _, port := range p.r.prog.Ports {
+		l, err := p.r.net.Listen(simnet.Addr(fmt.Sprintf("%s:%d", p.r.host, port)))
+		if err != nil {
+			return fmt.Errorf("crane: proxy listen: %w", err)
+		}
+		p.mu.Lock()
+		p.listeners = append(p.listeners, l)
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.acceptLoop(l, port)
+	}
+	return nil
+}
+
+func (p *proxy) acceptLoop(l *simnet.Listener, port int) {
+	defer p.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !p.r.node.IsPrimary() {
+			// Backups' proxies do not accept client connections (§2.1).
+			c.Close()
+			continue
+		}
+		// Connection ids must stay unique across primary changes, so the
+		// replica id is folded into the high bits.
+		p.mu.Lock()
+		p.nextConn++
+		id := uint64(p.r.id+1)<<48 | p.nextConn
+		p.conns[id] = c
+		p.mu.Unlock()
+		if !p.propose(&seq.Entry{Kind: seq.KindConnect, Conn: id, Port: port}) {
+			p.dropConn(id)
+			continue
+		}
+		p.wg.Add(1)
+		go p.readLoop(c, id)
+	}
+}
+
+// readLoop turns the client's byte stream into SEND consensus requests and
+// its EOF into a CLOSE request.
+func (p *proxy) readLoop(c *simnet.Conn, id uint64) {
+	defer p.wg.Done()
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := c.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			if !p.propose(&seq.Entry{Kind: seq.KindSend, Conn: id, Data: data}) {
+				p.dropConn(id)
+				return
+			}
+		}
+		if err != nil {
+			p.propose(&seq.Entry{Kind: seq.KindClose, Conn: id})
+			return
+		}
+	}
+}
+
+// propose submits a socket-call entry for consensus; it reports false when
+// this replica is no longer primary (the client should reconnect to the
+// new primary).
+func (p *proxy) propose(e *seq.Entry) bool {
+	payload, err := e.Encode()
+	if err != nil {
+		return false
+	}
+	return p.r.node.Propose(payload) == nil
+}
+
+// forward relays a server response to the client (primary only; on
+// backups the connection table is empty so responses are dropped).
+func (p *proxy) forward(id uint64, data []byte) {
+	p.mu.Lock()
+	c := p.conns[id]
+	p.mu.Unlock()
+	if c != nil {
+		c.Write(data)
+	}
+}
+
+// closeConn shuts the client connection after the server closed its side.
+func (p *proxy) closeConn(id uint64) {
+	p.mu.Lock()
+	c := p.conns[id]
+	delete(p.conns, id)
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (p *proxy) dropConn(id uint64) { p.closeConn(id) }
+
+// close tears the proxy down.
+func (p *proxy) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ls := p.listeners
+	conns := p.conns
+	p.conns = map[uint64]*simnet.Conn{}
+	p.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}

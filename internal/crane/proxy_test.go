@@ -1,0 +1,173 @@
+package crane
+
+import (
+	"testing"
+	"time"
+
+	"crane/internal/seq"
+	"crane/internal/simnet"
+)
+
+// TestBackupProxyRefusesClients: only the primary's proxy accepts client
+// connections (§2.1); backups close them immediately.
+func TestBackupProxyRefusesClients(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backup *Replica
+	for i := 0; i < c.Replicas(); i++ {
+		if c.Replica(i) != p {
+			backup = c.Replica(i)
+			break
+		}
+	}
+	conn, err := c.Net().Dial("refused:1", c.Addr(backup.ID(), 7000))
+	if err != nil {
+		t.Fatalf("dial backup: %v", err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("GET x\n"))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	n, rerr := conn.Read(buf)
+	if n != 0 || rerr == nil {
+		t.Fatalf("backup proxy served a client: n=%d err=%v", n, rerr)
+	}
+}
+
+// TestProxyConnIDsUniqueAcrossPrimaries: connection ids embed the replica
+// id so a failover cannot reuse a previous primary's ids.
+func TestProxyConnIDsUniqueAcrossPrimaries(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := kvRequest(t, c, "u:1", "SET a 1"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+	if err := c.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Record conn ids seen so far on a surviving replica's output log.
+	p, _ := c.Primary()
+	oldID := p.ID()
+	c.FailReplica(oldID)
+	deadline := time.Now().Add(10 * time.Second)
+	var resp string
+	for time.Now().Before(deadline) {
+		r, err := c.DialAndRequest("u:2", 7000, []byte("GET a\n"), 3)
+		if err == nil && len(r) > 0 {
+			resp = string(r)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp == "" {
+		t.Fatal("no response after failover")
+	}
+	// Inspect a survivor's outputs: the two connections must have distinct
+	// ids with distinct high bits (replica id + 1).
+	var survivor *Replica
+	for i := 0; i < c.Replicas(); i++ {
+		if i != oldID {
+			survivor = c.Replica(i)
+			break
+		}
+	}
+	// Backups consume (and log) outputs slightly after the primary.
+	evDeadline := time.Now().Add(10 * time.Second)
+	for survivor.Outputs().Len() < 2 && time.Now().Before(evDeadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	evs := survivor.Outputs().Events()
+	if len(evs) < 2 {
+		t.Fatalf("%d outputs", len(evs))
+	}
+	first, last := evs[0].Conn, evs[len(evs)-1].Conn
+	if first>>48 == last>>48 {
+		t.Fatalf("conn ids share primary tag: %x vs %x", first, last)
+	}
+}
+
+// TestProxySplitsLargeWrites: a client payload larger than one read buffer
+// arrives as multiple SEND entries that reassemble in order.
+func TestProxySplitsLargeWrites(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	// One long SET line (several KB value) must round trip intact.
+	val := ""
+	for i := 0; i < 2000; i++ {
+		val += "x"
+	}
+	if got := kvRequest(t, c, "big:1", "SET big "+val); got != "OK" {
+		t.Fatalf("big SET = %q", got)
+	}
+	if got := kvRequest(t, c, "big:2", "GET big"); got != "VALUE "+val {
+		t.Fatalf("big GET len = %d", len(got))
+	}
+}
+
+// TestSeqIndexesMonotonic: delivered entries carry strictly increasing
+// global indexes (the viewstamps that key checkpoints).
+func TestSeqIndexesMonotonic(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		kvRequest(t, c, "m:1", "SET k v")
+	}
+	st := c.SeqStats()
+	if st.Enqueued == 0 {
+		t.Fatal("nothing enqueued")
+	}
+	// Monotonicity is enforced structurally by paxos delivery order; a
+	// regression would show as enqueued < consumed or pending underflow.
+	if st.Consumed > st.Enqueued {
+		t.Fatalf("consumed %d > enqueued %d", st.Consumed, st.Enqueued)
+	}
+}
+
+// TestDialUnknownPortRefused: clients dialing a port the program does not
+// expose are refused at the network level.
+func TestDialUnknownPortRefused(t *testing.T) {
+	c, err := StartCluster(testConfig(ModeCrane), newTestKV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	p, _ := c.Primary()
+	if _, err := c.Net().Dial("z:1", c.Addr(p.ID(), 9999)); err == nil {
+		t.Fatal("dial to unbound port succeeded")
+	}
+}
+
+// TestEntryPortRouting: CONNECT entries carry the port so multi-port
+// programs route accepts correctly (unit-level check of the seq contract).
+func TestEntryPortRouting(t *testing.T) {
+	s := seq.New()
+	s.Enqueue(&seq.Entry{Index: 1, Kind: seq.KindConnect, Conn: 1, Port: 80})
+	s.Enqueue(&seq.Entry{Index: 2, Kind: seq.KindConnect, Conn: 2, Port: 443})
+	h, _ := s.Head()
+	if h.Port != 80 {
+		t.Fatalf("head port = %d", h.Port)
+	}
+	s.PopConnect()
+	h, _ = s.Head()
+	if h.Port != 443 {
+		t.Fatalf("second port = %d", h.Port)
+	}
+}
+
+var _ = simnet.ErrRefused // keep import for clarity of intent

@@ -1,0 +1,391 @@
+package crane
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"crane/internal/analysis"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crane/internal/cfs"
+	"crane/internal/checkpoint"
+	"crane/internal/papi"
+	"crane/internal/paxos"
+	"crane/internal/seq"
+	"crane/internal/simnet"
+	"crane/internal/trace"
+	"crane/internal/wal"
+)
+
+// Mode selects the execution configuration (the bars of Figure 14 plus the
+// §7.2 plan II diagnostic mode).
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNondet is the un-replicated nondeterministic baseline.
+	ModeNondet Mode = iota
+	// ModeParrotOnly runs the DMT scheduler without replication
+	// (Figure 14's "w/ Parrot only").
+	ModeParrotOnly
+	// ModePaxosOnly replicates socket inputs via consensus but runs
+	// threads nondeterministically (Figure 14's "w/ Paxos only").
+	ModePaxosOnly
+	// ModeCraneNoBubble is full CRANE with the time bubbling component
+	// disabled — the paper's §7.2 plan II, which demonstrably diverges.
+	ModeCraneNoBubble
+	// ModeCrane is the full system.
+	ModeCrane
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNondet:
+		return "nondet"
+	case ModeParrotOnly:
+		return "parrot-only"
+	case ModePaxosOnly:
+		return "paxos-only"
+	case ModeCraneNoBubble:
+		return "crane-nobubble"
+	case ModeCrane:
+		return "crane"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// replicated reports whether the mode runs a consensus group.
+func (m Mode) replicated() bool {
+	return m == ModePaxosOnly || m == ModeCraneNoBubble || m == ModeCrane
+}
+
+// deterministic reports whether the mode runs the DMT scheduler.
+func (m Mode) deterministic() bool {
+	return m == ModeParrotOnly || m == ModeCraneNoBubble || m == ModeCrane
+}
+
+// Replica is one CRANE instance: proxy + consensus + DMT + time bubbling +
+// checkpointing around a transparently replicated server program (Fig. 1).
+type Replica struct {
+	id   int
+	host string
+	cfg  *Config
+	prog papi.Program
+	net  *simnet.Network
+	mode Mode
+
+	node  *paxos.Node
+	store *wal.Log
+	sq    *seq.Sequence
+	px    *proxy
+	pump  *pumpSockets
+
+	pproc *papi.ParrotProc
+	nproc *papi.NondetProc
+	inst  papi.Instance
+
+	fs       *cfs.FS
+	baseSnap *cfs.Snapshot
+	out      *trace.OutputLog
+
+	openConns   atomic.Int64
+	killedFlag  atomic.Bool
+	closedMu    sync.Mutex
+	closedConns map[uint64]bool
+
+	bubblePending atomic.Bool
+	bubbleSince   atomic.Int64 // unix nanos of the outstanding request
+
+	restoreState []byte
+	deliverFrom  uint64
+	rejoining    bool
+	checker      *analysis.LockOrderChecker
+	// transport overrides the hub endpoint (TCP consensus deployments).
+	transport paxos.Transport
+}
+
+// newReplica wires a replica; start() launches it.
+func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Replica {
+	return &Replica{
+		id:          id,
+		host:        fmt.Sprintf("replica%d", id),
+		cfg:         cfg,
+		prog:        prog,
+		net:         net,
+		mode:        cfg.Mode,
+		sq:          seq.New(),
+		out:         trace.NewOutputLog(fmt.Sprintf("replica%d", id)),
+		closedConns: make(map[uint64]bool),
+	}
+}
+
+// start builds the filesystem, program instance, consensus node, proxy and
+// process, and launches the server.
+func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
+	// Container filesystem: install, then snapshot the pristine image
+	// (the LXC snapshot "prepared before any server starts", §5.2).
+	r.fs = cfs.New()
+	if r.prog.Install != nil {
+		r.prog.Install(r.fs)
+	}
+	r.baseSnap = r.fs.Snapshot()
+	r.inst = r.prog.New(r.fs)
+	if r.restoreState != nil {
+		if err := r.inst.Restore(r.restoreState); err != nil {
+			return fmt.Errorf("crane: restore state: %w", err)
+		}
+	}
+
+	if r.mode.replicated() {
+		var store *wal.Log
+		if r.cfg.WALDir != "" {
+			var err error
+			store, err = wal.Open(filepath.Join(r.cfg.WALDir, r.host), wal.Options{NoSync: true})
+			if err != nil {
+				return err
+			}
+			r.store = store
+		}
+		initialPrimary := 0
+		if r.deliverFrom > 0 || r.restoreState != nil || r.rejoining {
+			// A restored replica re-joins as a backup: it must adopt the
+			// running cluster's view rather than claim the bootstrap
+			// primaryship (§7.6's self-downgrading).
+			initialPrimary = -1
+		}
+		transport := r.transport
+		if transport == nil {
+			transport = hub.Endpoint(r.id)
+		}
+		node, err := paxos.NewNode(paxos.Config{
+			ID:                r.id,
+			Peers:             peers,
+			Transport:         transport,
+			Store:             store,
+			HeartbeatInterval: r.cfg.HeartbeatInterval,
+			ElectionTimeout:   r.cfg.ElectionTimeout,
+			DeliverFrom:       r.deliverFrom,
+			OnDeliver:         r.onDeliver,
+			InitialPrimary:    initialPrimary,
+		})
+		if err != nil {
+			return err
+		}
+		r.node = node
+	}
+
+	switch r.mode {
+	case ModeNondet:
+		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
+	case ModeParrotOnly:
+		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
+	case ModePaxosOnly:
+		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
+		r.pump = newPumpSockets(r)
+		r.nproc.SetSocketLayer(r.pump)
+	case ModeCrane, ModeCraneNoBubble:
+		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
+		r.pproc.SetSocketLayer(&dmtSockets{r: r})
+		r.pproc.Sched.SetGate(newGate(r, r.mode == ModeCrane))
+	}
+	// REPFRAME-style analysis (§6.2): attach the lock-order checker to
+	// the designated backup's scheduler.
+	if r.cfg.AnalyzeBackup && r.pproc != nil && r.id == r.cfg.Replicas-1 && r.cfg.Replicas > 1 {
+		r.checker = analysis.NewLockOrderChecker()
+		r.pproc.Sched.SetObserver(r.checker.Observer())
+	}
+
+	if r.node != nil {
+		r.node.Start()
+		r.px = newProxy(r)
+		if err := r.px.start(); err != nil {
+			return err
+		}
+	}
+	if r.pproc != nil {
+		r.pproc.Start(r.inst)
+	} else {
+		r.nproc.Start(r.inst)
+	}
+	return nil
+}
+
+// onDeliver receives committed consensus decisions in order and appends
+// them to the Paxos sequence (§3.2).
+func (r *Replica) onDeliver(e paxos.LogEntry) {
+	ent, err := seq.Decode(e.Payload)
+	if err != nil {
+		return
+	}
+	ent.Index = e.Index
+	r.sq.Enqueue(ent)
+	if ent.Kind == seq.KindBubble {
+		r.bubblePending.Store(false)
+	}
+	if r.pump != nil {
+		r.pump.wake()
+	}
+}
+
+// maybeRequestBubble implements the proxy side of Fig. 13: when the DMT
+// has been starved of input for W_timeout, the primary invokes consensus
+// on a time-bubble insertion (backups drop the request).
+func (r *Replica) maybeRequestBubble() {
+	if !r.sq.EmptyFor(r.cfg.Wtimeout) {
+		return
+	}
+	if r.node == nil || !r.node.IsPrimary() {
+		return
+	}
+	now := time.Now().UnixNano()
+	if r.bubblePending.Load() {
+		// An outstanding request can be lost across a view change;
+		// re-arm after a generous grace period.
+		if now-r.bubbleSince.Load() < int64(50*time.Millisecond) {
+			return
+		}
+		r.bubblePending.Store(false)
+	}
+	if !r.bubblePending.CompareAndSwap(false, true) {
+		return
+	}
+	r.bubbleSince.Store(now)
+	e := seq.Entry{Kind: seq.KindBubble, NClock: r.cfg.Nclock}
+	payload, err := e.Encode()
+	if err != nil {
+		r.bubblePending.Store(false)
+		return
+	}
+	if err := r.node.Propose(payload); err != nil {
+		r.bubblePending.Store(false)
+	}
+}
+
+// emitOutput logs an outgoing socket call and, on the primary, forwards it
+// to the client; backups log and drop (§2.1).
+func (r *Replica) emitOutput(conn uint64, data []byte) {
+	r.out.Record(conn, data)
+	if r.px != nil && r.node.IsPrimary() {
+		r.px.forward(conn, data)
+	}
+}
+
+func (r *Replica) proxyCloseConn(conn uint64) {
+	if r.px != nil {
+		r.px.closeConn(conn)
+	}
+}
+
+func (r *Replica) markConnClosed(conn uint64) {
+	r.closedMu.Lock()
+	r.closedConns[conn] = true
+	r.closedMu.Unlock()
+}
+
+func (r *Replica) connClosed(conn uint64) bool {
+	r.closedMu.Lock()
+	defer r.closedMu.Unlock()
+	return r.closedConns[conn]
+}
+
+func (r *Replica) killed() bool { return r.killedFlag.Load() }
+
+// stop tears the replica down: server process, proxy, consensus node.
+func (r *Replica) stop() {
+	if !r.killedFlag.CompareAndSwap(false, true) {
+		return
+	}
+	if r.pump != nil {
+		r.pump.wake()
+	}
+	if r.pproc != nil {
+		r.pproc.Kill()
+	}
+	if r.nproc != nil {
+		r.nproc.Kill()
+	}
+	if r.px != nil {
+		r.px.close()
+	}
+	if r.node != nil {
+		r.node.Stop()
+	}
+	if r.pproc != nil {
+		r.pproc.Wait()
+	}
+	if r.nproc != nil {
+		r.nproc.Wait()
+	}
+	if r.store != nil {
+		r.store.Close()
+	}
+}
+
+// --- checkpoint.Process implementation (§5.2) ---
+
+// Quiescent reports whether the server has no alive client connections and
+// no pending input — the paper's trick for avoiding TCP-stack checkpoints.
+func (r *Replica) Quiescent() bool {
+	return r.openConns.Load() == 0 && r.sq.Empty()
+}
+
+// Snapshot serializes the program's in-memory state (CRIU substitution).
+func (r *Replica) Snapshot() ([]byte, error) { return r.inst.Snapshot() }
+
+// Restore reinstates a program snapshot (used on a freshly built replica
+// before its main thread runs).
+func (r *Replica) Restore(b []byte) error { return r.inst.Restore(b) }
+
+// Checkpoint captures a consistent (state, index) image using the
+// quiescence-gated checkpointer, re-validating that no input raced the
+// capture.
+func (r *Replica) Checkpoint(cp *checkpoint.Checkpointer) (*checkpoint.Checkpoint, *checkpoint.Timings, error) {
+	for attempt := 0; attempt < 10; attempt++ {
+		idxBefore := r.node.CommitIndex()
+		ck, tm, err := cp.Capture(r, r.fs, r.baseSnap, func() uint64 { return idxBefore })
+		if err != nil {
+			return nil, tm, err
+		}
+		if r.node.CommitIndex() == idxBefore && r.Quiescent() {
+			return ck, tm, nil
+		}
+		// Input raced the capture; back off and retry (§5.2).
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, nil, fmt.Errorf("crane: checkpoint never stabilized")
+}
+
+// Accessors used by the cluster, tests, and benches.
+
+// ID returns the replica id.
+func (r *Replica) ID() int { return r.id }
+
+// Host returns the replica's network host name.
+func (r *Replica) Host() string { return r.host }
+
+// IsPrimary reports whether this replica is the consensus primary.
+func (r *Replica) IsPrimary() bool { return r.node != nil && r.node.IsPrimary() }
+
+// Outputs returns the replica's network-output log (§7.2).
+func (r *Replica) Outputs() *trace.OutputLog { return r.out }
+
+// SeqStats returns the Paxos-sequence counters (Table 1).
+func (r *Replica) SeqStats() seq.Stats { return r.sq.Stats() }
+
+// Node exposes the consensus node (nil in un-replicated modes).
+func (r *Replica) Node() *paxos.Node { return r.node }
+
+// FS returns the replica's container filesystem.
+func (r *Replica) FS() *cfs.FS { return r.fs }
+
+// BaseSnapshot returns the pristine container image.
+func (r *Replica) BaseSnapshot() *cfs.Snapshot { return r.baseSnap }
+
+// OpenConns returns the number of alive server-side connections.
+func (r *Replica) OpenConns() int64 { return r.openConns.Load() }
+
+var _ checkpoint.Process = (*Replica)(nil)

@@ -1,0 +1,137 @@
+package dmt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkTokenPass measures the cost of one scheduled operation
+// (get_turn + put_turn) with a single thread — the floor of Parrot's
+// synchronization overhead.
+func BenchmarkTokenPass(b *testing.B) {
+	s := New()
+	done := make(chan struct{})
+	s.Spawn(nil, "bench", func(th *Thread) {
+		var m Mutex
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.Lock(&m)
+			th.Unlock(&m)
+		}
+		close(done)
+	})
+	<-done
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}
+
+// BenchmarkContendedMutexDMT measures deterministic lock handoff under
+// contention (4 threads), the round-robin rotation cost.
+func BenchmarkContendedMutexDMT(b *testing.B) {
+	s := New()
+	var m Mutex
+	const threads = 4
+	var wg sync.WaitGroup
+	per := b.N/threads + 1
+	b.ResetTimer()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		s.Spawn(nil, fmt.Sprintf("t%d", i), func(th *Thread) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				th.Lock(&m)
+				th.Unlock(&m)
+			}
+		})
+	}
+	wg.Wait()
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}
+
+// BenchmarkContendedMutexPthreads is the nondeterministic comparison
+// point: the same contention pattern on sync.Mutex (the "Pthreads
+// runtime" column of the Parrot comparison).
+func BenchmarkContendedMutexPthreads(b *testing.B) {
+	var m sync.Mutex
+	const threads = 4
+	var wg sync.WaitGroup
+	per := b.N/threads + 1
+	b.ResetTimer()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.Lock()
+				//lint:ignore SA2001 intentional empty critical section
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkCondSignalWake measures a full deterministic wait/signal
+// round trip between two threads.
+func BenchmarkCondSignalWake(b *testing.B) {
+	s := New()
+	var m Mutex
+	var c Cond
+	turn := 0 // 0: waiter's turn to sleep, 1: waiter may proceed
+	var wg sync.WaitGroup
+	wg.Add(2)
+	b.ResetTimer()
+	s.Spawn(nil, "waiter", func(th *Thread) {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			th.Lock(&m)
+			for turn == 0 {
+				th.CondWait(&c, &m)
+			}
+			turn = 0
+			th.Unlock(&m)
+			th.CondSignal(&c)
+		}
+	})
+	s.Spawn(nil, "signaler", func(th *Thread) {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			th.Lock(&m)
+			turn = 1
+			th.Unlock(&m)
+			th.CondSignal(&c)
+			th.Lock(&m)
+			for turn == 1 {
+				th.CondWait(&c, &m)
+			}
+			th.Unlock(&m)
+		}
+	})
+	wg.Wait()
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}
+
+// BenchmarkSpawnJoin measures thread creation + join through the
+// scheduler.
+func BenchmarkSpawnJoin(b *testing.B) {
+	s := New()
+	done := make(chan struct{})
+	s.Spawn(nil, "root", func(root *Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			child := s.Spawn(root, "child", func(*Thread) {})
+			root.Join(child)
+		}
+		close(done)
+	})
+	<-done
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}

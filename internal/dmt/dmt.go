@@ -1,0 +1,616 @@
+// Package dmt reimplements the Parrot deterministic-multithreading runtime
+// (Cui et al., SOSP'13) that CRANE uses as its DMT scheduler (§3.1 of the
+// CRANE paper).
+//
+// The scheduler serializes all synchronization operations with a global
+// token passed round-robin over a run queue. Only the thread at the head of
+// the run queue may perform a synchronization operation and manipulate the
+// run/wait queues (the paper's key invariant). put_turn rotates the caller
+// to the tail and wakes the *queue-next* thread — even if that thread is
+// mid-computation and will not reach its next synchronization for a while.
+// The token then parks on it. This parking is load-bearing twice over:
+//
+//   - Determinism: the global order of synchronization operations is the
+//     rotation order of the queue, independent of physical timing.
+//   - Performance: misaligned compute chunks accumulate parking stalls,
+//     which is exactly the pathology Parrot's soft-barrier hints fix
+//     (reproduced by Figure 15's benchmark).
+//
+// A logical clock ticks once per scheduled operation. An internal idle
+// thread keeps the queue non-empty (and the clock ticking) when all
+// application threads block, mirroring §3.1. CRANE plugs in through the
+// Gate interface: every wrapper calls the gate after acquiring the turn
+// (paper Fig. 9 line 3 / Fig. 10), which is where time-bubble consumption
+// and deterministic socket admission happen.
+package dmt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Gate is CRANE's hook into the scheduler (the check_add_timebubble
+// function of Fig. 10). CheckAdmit is invoked by the token holder at the
+// start of every scheduled operation. Implementations may block (e.g.
+// while the Paxos sequence is empty), consume time-bubble clocks, and
+// signal threads blocked on socket keys via t.SignalKey.
+type Gate interface {
+	CheckAdmit(t *Thread)
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	Clock       uint64 // logical clock: one tick per scheduled op
+	TokenPasses uint64 // put_turn rotations
+	Waits       uint64 // wait() calls (thread moved to a wait queue)
+	Signals     uint64 // signal/broadcast wake-ups delivered
+	Spawned     uint64 // threads created (excluding the idle thread)
+	ScheduleSum uint64 // FNV-1a hash of the (thread, op) schedule so far
+}
+
+// Scheduler is a Parrot-style round-robin DMT scheduler.
+type Scheduler struct {
+	mu    sync.Mutex
+	runq  []*Thread
+	waitq map[any][]*Thread
+	// reentry holds threads returning from *real* (nondeterministic)
+	// blocking socket calls in plain-Parrot mode; the token holder drains
+	// it into the run queue at every rotation (§3.1 "socket queue").
+	reentry []*Thread
+
+	clock       uint64
+	tokenPasses uint64
+	waits       uint64
+	signals     uint64
+	spawned     uint64
+	schedHash   uint64
+
+	gate      Gate
+	observer  Observer
+	barriers  []*SoftBarrier
+	recording *Schedule
+	replay    *Schedule
+	replayPos int
+	replayErr error
+
+	nextID  int
+	killed  bool
+	killCh  chan struct{}
+	wg      sync.WaitGroup
+	idle    *Thread
+	started bool
+
+	// IdleSleep is how long the idle thread sleeps per rotation when it is
+	// the only runnable thread and nothing needs exhausting. Keeps a quiet
+	// server from burning a core. Zero means 20µs.
+	IdleSleep time.Duration
+}
+
+// New creates a scheduler. Call Start before spawning application threads.
+func New() *Scheduler {
+	return &Scheduler{
+		waitq:     make(map[any][]*Thread),
+		killCh:    make(chan struct{}),
+		schedHash: 14695981039346656037, // FNV-1a offset basis
+	}
+}
+
+// SetGate installs the CRANE admission gate. Must be called before Start.
+func (s *Scheduler) SetGate(g Gate) { s.gate = g }
+
+// Start launches the internal idle thread. It must be called exactly once.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("dmt: Start called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.idle = s.spawn("idle", func(t *Thread) { s.idleLoop(t) }, true)
+}
+
+// killedPanic is the sentinel thrown through application threads when the
+// scheduler is killed; the Spawn wrapper recovers it.
+type killedPanic struct{}
+
+// Kill tears the scheduler down: every thread blocked in a scheduled
+// operation unwinds. Threads blocked in real I/O (plain-Parrot mode) must
+// be unblocked by closing their sockets. Wait for full teardown with Join.
+func (s *Scheduler) Kill() {
+	s.mu.Lock()
+	s.killLocked()
+	s.mu.Unlock()
+}
+
+// killLocked tears the scheduler down; caller holds s.mu. Pokes are
+// non-blocking sends, safe under the lock.
+func (s *Scheduler) killLocked() {
+	if s.killed {
+		return
+	}
+	s.killed = true
+	close(s.killCh)
+	for _, t := range s.runq {
+		t.poke()
+	}
+	for _, q := range s.waitq {
+		for _, t := range q {
+			t.poke()
+		}
+	}
+	for _, t := range s.reentry {
+		t.poke()
+	}
+}
+
+// Join blocks until every thread (including the idle thread) has exited.
+func (s *Scheduler) Join() { s.wg.Wait() }
+
+// Killed reports whether Kill has been called.
+func (s *Scheduler) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Clock:       s.clock,
+		TokenPasses: s.tokenPasses,
+		Waits:       s.waits,
+		Signals:     s.signals,
+		Spawned:     s.spawned,
+		ScheduleSum: s.schedHash,
+	}
+}
+
+// Clock returns the current logical clock.
+func (s *Scheduler) Clock() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Thread is a scheduled thread. All scheduled operations are methods on
+// the thread so the scheduler knows the caller's identity.
+type Thread struct {
+	s      *Scheduler
+	id     int
+	name   string
+	wake   chan struct{}
+	done   bool // set during exit, read under s.mu
+	isIdle bool
+}
+
+// ID returns the deterministic thread id (creation order).
+func (t *Thread) ID() int { return t.id }
+
+// Finished reports whether the thread has exited.
+func (t *Thread) Finished() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.done
+}
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+func (t *Thread) poke() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Spawn creates a thread running fn and schedules it at the tail of the
+// run queue. Spawn is itself a scheduled operation when called from a
+// scheduled thread (parent); the root call (from ordinary Go code, parent
+// nil-turn) appends directly. fn's panics from Kill are absorbed.
+func (s *Scheduler) Spawn(parent *Thread, name string, fn func(*Thread)) *Thread {
+	if parent != nil {
+		parent.GetTurn()
+		parent.Admit()
+		t := s.spawn(name, fn, false)
+		parent.PutTurn()
+		return t
+	}
+	return s.spawn(name, fn, false)
+}
+
+func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return nil
+	}
+	t := &Thread{s: s, id: s.nextID, name: name, wake: make(chan struct{}, 1), isIdle: isIdle}
+	s.nextID++
+	if !isIdle {
+		s.spawned++
+	}
+	wasEmpty := len(s.runq) == 0
+	s.runq = append(s.runq, t)
+	var head *Thread
+	if wasEmpty {
+		head = t
+	}
+	s.mu.Unlock()
+	if head != nil {
+		head.poke()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn(t)
+		t.Exit()
+	}()
+	return t
+}
+
+// GetTurn blocks until t holds the global token (is the run-queue head).
+// If the token is already parked on t, it returns immediately.
+func (t *Thread) GetTurn() {
+	s := t.s
+	for {
+		s.mu.Lock()
+		if s.killed {
+			s.mu.Unlock()
+			panic(killedPanic{})
+		}
+		if len(s.runq) > 0 && s.runq[0] == t {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		select {
+		case <-t.wake:
+		case <-s.killCh:
+		}
+	}
+}
+
+// Admit invokes the CRANE gate, if any. Wrappers call it right after
+// GetTurn (Fig. 9 line 3).
+func (t *Thread) Admit() {
+	if g := t.s.gate; g != nil {
+		g.CheckAdmit(t)
+	}
+}
+
+// PutTurn completes a scheduled operation: ticks the logical clock,
+// releases expired soft barriers, drains the reentry queue, rotates the
+// caller to the tail, and wakes the new head.
+func (t *Thread) PutTurn() {
+	s := t.s
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		panic(killedPanic{})
+	}
+	if len(s.runq) == 0 || s.runq[0] != t {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("dmt: PutTurn by non-head thread %d (%s)", t.id, t.name))
+	}
+	s.tickLocked(t, 'P')
+	s.drainReentryLocked()
+	s.releaseExpiredBarriersLocked()
+	s.runq = append(s.runq[1:], t)
+	s.replayReorderLocked()
+	s.tokenPasses++
+	head := s.runq[0]
+	s.mu.Unlock()
+	if head != t {
+		head.poke()
+	}
+}
+
+// tickLocked advances the logical clock and folds (thread, op) into the
+// schedule hash, which tests use to assert cross-run determinism. The idle
+// thread's ticks are excluded: in plain-Parrot mode its solo rotations are
+// timing-dependent (which is harmless — nothing runnable can observe them),
+// while application threads' operations are always in deterministic
+// rotation order.
+func (s *Scheduler) tickLocked(t *Thread, op byte) {
+	s.clock++
+	s.recordLocked(t, op)
+	s.replayAdvanceLocked(t, op)
+	if t.isIdle {
+		return
+	}
+	h := s.schedHash
+	h ^= uint64(t.id)
+	h *= 1099511628211
+	h ^= uint64(op)
+	h *= 1099511628211
+	s.schedHash = h
+}
+
+// WaitOn moves the caller (which must hold the token) to the wait queue of
+// key, wakes the next head, and blocks until another thread signals the key
+// — at which point the caller has been re-inserted near the queue head and
+// this call returns with the token held again.
+func (t *Thread) WaitOn(key any) {
+	s := t.s
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		panic(killedPanic{})
+	}
+	if len(s.runq) == 0 || s.runq[0] != t {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("dmt: WaitOn by non-head thread %d (%s)", t.id, t.name))
+	}
+	s.waits++
+	s.tickLocked(t, 'W')
+	s.waitq[key] = append(s.waitq[key], t)
+	s.drainReentryLocked()
+	s.releaseExpiredBarriersLocked()
+	s.runq = s.runq[1:]
+	s.replayReorderLocked()
+	s.tokenPasses++
+	var head *Thread
+	if len(s.runq) > 0 {
+		head = s.runq[0]
+	}
+	s.mu.Unlock()
+	if head != nil {
+		head.poke()
+	}
+	t.GetTurn() // blocks until signaled back in and at head
+}
+
+// SignalKey wakes the first waiter on key, inserting it right after the
+// caller in the run queue (so it becomes the head once the caller rotates,
+// matching "when a thread returns from wait() it becomes the head").
+// It reports whether a waiter was woken. Caller must hold the token.
+func (t *Thread) SignalKey(key any) bool {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.signalOneLocked(t, key)
+}
+
+func (s *Scheduler) signalOneLocked(t *Thread, key any) bool {
+	q := s.waitq[key]
+	if len(q) == 0 {
+		return false
+	}
+	w := q[0]
+	if len(q) == 1 {
+		delete(s.waitq, key)
+	} else {
+		s.waitq[key] = q[1:]
+	}
+	s.insertAfterHeadLocked(w, 1)
+	s.signals++
+	return true
+}
+
+// BroadcastKey wakes every waiter on key in FIFO order. Caller must hold
+// the token. Returns the number of threads woken.
+func (t *Thread) BroadcastKey(key any) int {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.waitq[key]
+	if len(q) == 0 {
+		return 0
+	}
+	delete(s.waitq, key)
+	for i, w := range q {
+		s.insertAfterHeadLocked(w, 1+i)
+	}
+	s.signals += uint64(len(q))
+	return len(q)
+}
+
+// HasWaiter reports whether any thread waits on key. Caller must hold the
+// token (used by the CRANE gate to decide whether to deliver a signal).
+func (t *Thread) HasWaiter(key any) bool {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waitq[key]) > 0
+}
+
+// insertAfterHeadLocked inserts w at position pos (>=1) in the run queue,
+// clamped to the tail.
+func (s *Scheduler) insertAfterHeadLocked(w *Thread, pos int) {
+	if pos > len(s.runq) {
+		pos = len(s.runq)
+	}
+	if pos < 1 {
+		pos = 1
+	}
+	if len(s.runq) == 0 {
+		s.runq = []*Thread{w}
+		// Becomes the head immediately; wake it.
+		w.poke()
+		return
+	}
+	s.runq = append(s.runq, nil)
+	copy(s.runq[pos+1:], s.runq[pos:])
+	s.runq[pos] = w
+}
+
+// Exit is the scheduled operation that removes the caller from the
+// scheduler and wakes joiners. Spawn calls it automatically when fn
+// returns; threads must not use t afterwards.
+func (t *Thread) Exit() {
+	t.GetTurn()
+	t.observe(EvThreadExit, nil)
+	s := t.s
+	s.mu.Lock()
+	if len(s.runq) == 0 || s.runq[0] != t {
+		s.mu.Unlock()
+		panic("dmt: Exit by non-head thread")
+	}
+	s.tickLocked(t, 'X')
+	t.done = true
+	// Wake joiners.
+	q := s.waitq[joinKey{t}]
+	delete(s.waitq, joinKey{t})
+	for i, w := range q {
+		s.insertAfterHeadLocked(w, 1+i)
+	}
+	s.signals += uint64(len(q))
+	s.drainReentryLocked()
+	s.releaseExpiredBarriersLocked()
+	s.runq = s.runq[1:]
+	s.replayReorderLocked()
+	var head *Thread
+	if len(s.runq) > 0 {
+		head = s.runq[0]
+	}
+	s.mu.Unlock()
+	if head != nil {
+		head.poke()
+	}
+}
+
+type joinKey struct{ t *Thread }
+
+// Join blocks the caller until target exits. A scheduled operation.
+func (t *Thread) Join(target *Thread) {
+	t.GetTurn()
+	t.Admit()
+	s := t.s
+	s.mu.Lock()
+	done := target.done
+	s.mu.Unlock()
+	if !done {
+		t.WaitOn(joinKey{target})
+	}
+	t.PutTurn()
+}
+
+// BlockingEnter prepares a *nondeterministic* real blocking call (plain
+// Parrot's socket path, §3.1): the caller leaves the run queue and the
+// token moves on. Pair with BlockingExit after the real call returns.
+func (t *Thread) BlockingEnter() {
+	t.GetTurn()
+	t.Admit()
+	s := t.s
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		panic(killedPanic{})
+	}
+	s.tickLocked(t, 'B')
+	s.drainReentryLocked()
+	s.releaseExpiredBarriersLocked()
+	s.runq = s.runq[1:]
+	s.replayReorderLocked()
+	s.tokenPasses++
+	var head *Thread
+	if len(s.runq) > 0 {
+		head = s.runq[0]
+	}
+	s.mu.Unlock()
+	if head != nil {
+		head.poke()
+	}
+}
+
+// BlockingExit re-enters the scheduler after a real blocking call: the
+// caller joins the reentry queue (nondeterministic order, by design — this
+// is precisely the nondeterminism CRANE's gate removes) and blocks until a
+// token holder drains it into the run queue and the token reaches it.
+func (t *Thread) BlockingExit() {
+	s := t.s
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		panic(killedPanic{})
+	}
+	s.reentry = append(s.reentry, t)
+	s.mu.Unlock()
+	t.GetTurn()
+	t.PutTurn()
+}
+
+func (s *Scheduler) drainReentryLocked() {
+	if len(s.reentry) == 0 {
+		return
+	}
+	s.runq = append(s.runq, s.reentry...)
+	s.reentry = nil
+}
+
+// idleLoop keeps the run queue non-empty and the clock ticking (§3.1).
+// With a CRANE gate installed, Admit is where the idle thread blocks on an
+// empty Paxos sequence, requests time bubbles, exhausts bubble clocks, and
+// admits socket calls — the paper's modified idle thread (§3.2).
+func (s *Scheduler) idleLoop(t *Thread) {
+	sleep := s.IdleSleep
+	if sleep == 0 {
+		sleep = 50 * time.Microsecond
+	}
+	busySpins := 0
+	for {
+		t.GetTurn()
+		t.Admit()
+		s.mu.Lock()
+		if s.killed {
+			s.mu.Unlock()
+			panic(killedPanic{})
+		}
+		alone := len(s.runq) == 1 && len(s.reentry) == 0
+		busy := s.gate != nil && gateBusy(s.gate)
+		s.mu.Unlock()
+		t.PutTurn()
+		if alone && !busy {
+			busySpins = 0
+			// Nothing to exhaust and nobody runnable: back off so an
+			// idle server does not burn a core. Clock ticks here are
+			// unobservable (no runnable thread can interleave). Plain
+			// Sleep, not time.After: the latter allocates a timer and a
+			// channel per rotation, which at this frequency becomes a
+			// timer-heap and GC storm that starves everything else.
+			time.Sleep(sleep)
+		} else {
+			// Busy rotation (e.g. exhausting a time bubble): yield so
+			// runnable application threads and the consensus stack get
+			// CPU even on low-core machines, with a periodic real sleep
+			// so sustained exhaustion cannot starve timer goroutines.
+			busySpins++
+			if busySpins%64 == 0 {
+				time.Sleep(10 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// BusyGate is implemented by gates that can indicate pending work (e.g. a
+// time bubble being exhausted) so the idle thread spins instead of
+// sleeping.
+type BusyGate interface{ Busy() bool }
+
+func gateBusy(g Gate) bool {
+	if b, ok := g.(BusyGate); ok {
+		return b.Busy()
+	}
+	return false
+}
+
+// RunQueueLen returns the current run-queue length (diagnostics).
+func (s *Scheduler) RunQueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runq)
+}

@@ -1,0 +1,629 @@
+package dmt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// runProgram runs fn threads on a fresh scheduler, waits for all of them to
+// finish, kills the scheduler, and returns its final stats.
+func runProgram(t *testing.T, bodies []func(*Thread)) Stats {
+	t.Helper()
+	s := New()
+	s.Start()
+	done := make(chan struct{})
+	go func() {
+		threads := make([]*Thread, 0, len(bodies))
+		for i, body := range bodies {
+			th := s.Spawn(nil, fmt.Sprintf("t%d", i), body)
+			threads = append(threads, th)
+		}
+		// Wait for completion by polling done flags via a joiner thread.
+		joiner := s.Spawn(nil, "joiner", func(me *Thread) {
+			for _, th := range threads {
+				me.Join(th)
+			}
+		})
+		waitDone(s, joiner)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("program did not finish")
+	}
+	st := s.Stats()
+	s.Kill()
+	s.Join()
+	return st
+}
+
+// waitDone polls until th has exited.
+func waitDone(s *Scheduler, th *Thread) {
+	for {
+		s.mu.Lock()
+		d := th.done
+		s.mu.Unlock()
+		if d {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	var m Mutex
+	var inside, maxInside int32
+	body := func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			th.Lock(&m)
+			v := atomic.AddInt32(&inside, 1)
+			if v > atomic.LoadInt32(&maxInside) {
+				atomic.StoreInt32(&maxInside, v)
+			}
+			atomic.AddInt32(&inside, -1)
+			th.Unlock(&m)
+		}
+	}
+	runProgram(t, []func(*Thread){body, body, body, body})
+	if atomic.LoadInt32(&maxInside) != 1 {
+		t.Fatalf("max threads inside critical section = %d", maxInside)
+	}
+}
+
+func TestMutexCountsCorrectly(t *testing.T) {
+	var m Mutex
+	counter := 0
+	body := func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Lock(&m)
+			counter++
+			th.Unlock(&m)
+		}
+	}
+	runProgram(t, []func(*Thread){body, body, body, body, body, body, body, body})
+	if counter != 800 {
+		t.Fatalf("counter = %d, want 800", counter)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var m Mutex
+	var got []bool
+	runProgram(t, []func(*Thread){func(th *Thread) {
+		got = append(got, th.TryLock(&m)) // true
+		got = append(got, th.TryLock(&m)) // false: already held
+		th.Unlock(&m)
+		got = append(got, th.TryLock(&m)) // true again
+		th.Unlock(&m)
+	}})
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TryLock results = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	s := New()
+	s.Start()
+	defer func() { s.Kill(); s.Join() }()
+	var m Mutex
+	panicked := make(chan bool, 1)
+	s.Spawn(nil, "t", func(th *Thread) {
+		defer func() { panicked <- recover() != nil }()
+		th.Unlock(&m)
+	})
+	select {
+	case p := <-panicked:
+		if !p {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	var m Mutex
+	var c Cond
+	ready := 0
+	woken := 0
+	waiter := func(th *Thread) {
+		th.Lock(&m)
+		ready++
+		for woken == 0 {
+			th.CondWait(&c, &m)
+		}
+		woken--
+		th.Unlock(&m)
+	}
+	signaler := func(th *Thread) {
+		// Wait for both waiters to be asleep.
+		for {
+			th.Lock(&m)
+			r := ready
+			th.Unlock(&m)
+			if r == 2 {
+				break
+			}
+		}
+		th.Lock(&m)
+		woken = 2
+		th.Unlock(&m)
+		th.CondBroadcast(&c)
+	}
+	runProgram(t, []func(*Thread){waiter, waiter, signaler})
+	if woken != 0 {
+		t.Fatalf("woken = %d, want 0", woken)
+	}
+}
+
+func TestCondWaitReleasesMutex(t *testing.T) {
+	var m Mutex
+	var c Cond
+	step := 0
+	runProgram(t, []func(*Thread){
+		func(th *Thread) {
+			th.Lock(&m)
+			step = 1
+			th.CondWait(&c, &m) // releases m; helper must be able to lock
+			if step != 2 {
+				t.Errorf("step = %d at wake, want 2", step)
+			}
+			step = 3
+			th.Unlock(&m)
+		},
+		func(th *Thread) {
+			for {
+				th.Lock(&m)
+				if step == 1 {
+					step = 2
+					th.Unlock(&m)
+					th.CondSignal(&c)
+					return
+				}
+				th.Unlock(&m)
+			}
+		},
+	})
+	if step != 3 {
+		t.Fatalf("final step = %d, want 3", step)
+	}
+}
+
+func TestRWMutexReadersShareWritersExclude(t *testing.T) {
+	var rw RWMutex
+	var readers, writers, maxReaders int32
+	var violations int32
+	reader := func(th *Thread) {
+		for i := 0; i < 30; i++ {
+			th.RLock(&rw)
+			r := atomic.AddInt32(&readers, 1)
+			if r > atomic.LoadInt32(&maxReaders) {
+				atomic.StoreInt32(&maxReaders, r)
+			}
+			if atomic.LoadInt32(&writers) != 0 {
+				atomic.AddInt32(&violations, 1)
+			}
+			atomic.AddInt32(&readers, -1)
+			th.RUnlock(&rw)
+		}
+	}
+	writer := func(th *Thread) {
+		for i := 0; i < 15; i++ {
+			th.WLock(&rw)
+			if atomic.AddInt32(&writers, 1) != 1 || atomic.LoadInt32(&readers) != 0 {
+				atomic.AddInt32(&violations, 1)
+			}
+			atomic.AddInt32(&writers, -1)
+			th.WUnlock(&rw)
+		}
+	}
+	runProgram(t, []func(*Thread){reader, reader, reader, writer, writer})
+	if violations != 0 {
+		t.Fatalf("%d rwlock violations", violations)
+	}
+}
+
+func TestJoinWaitsForExit(t *testing.T) {
+	s := New()
+	s.Start()
+	defer func() { s.Kill(); s.Join() }()
+	var finished atomic.Bool
+	result := make(chan bool, 1)
+	go func() {
+		worker := s.Spawn(nil, "worker", func(th *Thread) {
+			var m Mutex
+			for i := 0; i < 100; i++ {
+				th.Lock(&m)
+				th.Unlock(&m)
+			}
+			finished.Store(true)
+		})
+		s.Spawn(nil, "joiner", func(th *Thread) {
+			th.Join(worker)
+			result <- finished.Load()
+		})
+	}()
+	select {
+	case ok := <-result:
+		if !ok {
+			t.Fatal("Join returned before worker finished")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestJoinAlreadyExited(t *testing.T) {
+	s := New()
+	s.Start()
+	defer func() { s.Kill(); s.Join() }()
+	done := make(chan struct{})
+	go func() {
+		w := s.Spawn(nil, "w", func(th *Thread) {})
+		waitDoneRaw(s, w)
+		s.Spawn(nil, "j", func(th *Thread) {
+			th.Join(w) // must not hang
+			close(done)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Join on exited thread hung")
+	}
+}
+
+func waitDoneRaw(s *Scheduler, th *Thread) {
+	for {
+		s.mu.Lock()
+		d := th.done
+		s.mu.Unlock()
+		if d {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestDeterministicSchedule runs the same racy program twice with random
+// physical perturbations and asserts the schedule hash is identical: the
+// Parrot guarantee.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) uint64 {
+		s := New()
+		s.Start()
+		rng := rand.New(rand.NewSource(seed))
+		var m Mutex
+		var c Cond
+		shared := 0
+		var threads []*Thread
+		root := s.Spawn(nil, "root", func(root *Thread) {
+			for i := 0; i < 4; i++ {
+				jitter := time.Duration(rng.Intn(200)) * time.Microsecond
+				th := s.Spawn(root, fmt.Sprintf("w%d", i), func(th *Thread) {
+					time.Sleep(jitter) // physical perturbation
+					for j := 0; j < 25; j++ {
+						th.Lock(&m)
+						shared++
+						if shared%7 == 0 {
+							th.CondBroadcast(&c)
+						}
+						th.Unlock(&m)
+					}
+				})
+				threads = append(threads, th)
+			}
+			for _, th := range threads {
+				root.Join(th)
+			}
+		})
+		waitDoneRaw(s, root)
+		h := s.Stats().ScheduleSum
+		s.Kill()
+		s.Join()
+		return h
+	}
+	h1 := run(1)
+	h2 := run(99) // different physical jitter
+	if h1 != h2 {
+		t.Fatalf("schedule hashes differ: %x vs %x", h1, h2)
+	}
+}
+
+func TestClockTicksPerOp(t *testing.T) {
+	s := New()
+	// Do not Start: no idle thread, so the clock counts only our ops.
+	done := make(chan Stats, 1)
+	s.Spawn(nil, "t", func(th *Thread) {
+		var m Mutex
+		for i := 0; i < 10; i++ {
+			th.Lock(&m)
+			th.Unlock(&m)
+		}
+		done <- s.Stats()
+	})
+	st := <-done
+	// 20 lock/unlock ops; Exit has not happened yet.
+	if st.Clock != 20 {
+		t.Fatalf("clock = %d, want 20", st.Clock)
+	}
+	s.Kill()
+	s.Join()
+}
+
+func TestSoftBarrierReleasesOnFull(t *testing.T) {
+	sb := NewSoftBarrier(3, 1_000_000)
+	var concurrent, maxConcurrent int32
+	body := func(th *Thread) {
+		th.SoftBarrierArrive(sb)
+		v := atomic.AddInt32(&concurrent, 1)
+		for {
+			old := atomic.LoadInt32(&maxConcurrent)
+			if v <= old || atomic.CompareAndSwapInt32(&maxConcurrent, old, v) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond) // lined-up compute
+		atomic.AddInt32(&concurrent, -1)
+	}
+	runProgram(t, []func(*Thread){body, body, body})
+	if atomic.LoadInt32(&maxConcurrent) != 3 {
+		t.Fatalf("maxConcurrent = %d, want 3 (barrier should line up all three)", maxConcurrent)
+	}
+}
+
+func TestSoftBarrierTimesOutDeterministically(t *testing.T) {
+	// Only 1 of 2 expected threads arrives; a busy sibling ticks the clock
+	// past the deadline and the barrier must release the loner.
+	sb := NewSoftBarrier(2, 50)
+	released := make(chan struct{})
+	runProgram(t, []func(*Thread){
+		func(th *Thread) {
+			th.SoftBarrierArrive(sb)
+			close(released)
+		},
+		func(th *Thread) {
+			var m Mutex
+			for i := 0; i < 200; i++ { // 400 ticks >> 50
+				th.Lock(&m)
+				th.Unlock(&m)
+				select {
+				case <-released:
+					return
+				default:
+				}
+			}
+			t.Error("barrier never timed out despite clock advance")
+		},
+	})
+}
+
+func TestKillUnblocksWaiters(t *testing.T) {
+	s := New()
+	s.Start()
+	var m Mutex
+	entered := make(chan struct{})
+	s.Spawn(nil, "holder", func(th *Thread) {
+		th.Lock(&m)
+		close(entered)
+		select {} // never unlocks; blocked forever in compute
+	})
+	<-entered
+	s.Spawn(nil, "waiter", func(th *Thread) {
+		th.Lock(&m) // blocks forever until Kill
+	})
+	time.Sleep(5 * time.Millisecond)
+	s.Kill()
+	done := make(chan struct{})
+	go func() {
+		// The holder goroutine never exits (select{}); only check that
+		// the waiter and idle unwind without deadlock by killing and
+		// verifying Kill is idempotent.
+		s.Kill()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Kill deadlocked")
+	}
+}
+
+func TestSpawnAfterKillReturnsNil(t *testing.T) {
+	s := New()
+	s.Start()
+	s.Kill()
+	if th := s.Spawn(nil, "late", func(*Thread) {}); th != nil {
+		t.Fatal("Spawn after Kill returned a thread")
+	}
+	s.Join()
+}
+
+func TestBlockingEnterExitRoundTrip(t *testing.T) {
+	// Simulates plain Parrot's nondeterministic socket path: a thread
+	// leaves the scheduler for a real blocking call and re-enters via the
+	// reentry queue drained by other token holders (here: the idle thread).
+	s := New()
+	s.Start()
+	defer func() { s.Kill(); s.Join() }()
+	result := make(chan int, 1)
+	go func() {
+		ch := make(chan int, 1)
+		s.Spawn(nil, "io", func(th *Thread) {
+			th.BlockingEnter()
+			v := <-ch // real blocking op, outside the scheduler
+			th.BlockingExit()
+			var m Mutex
+			th.Lock(&m) // scheduled ops still work after reentry
+			th.Unlock(&m)
+			result <- v
+		})
+		time.Sleep(2 * time.Millisecond)
+		ch <- 42
+	}()
+	select {
+	case v := <-result:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocking reentry hung")
+	}
+}
+
+// TestQuickScheduleDeterminism property: for random thread counts, op
+// counts, and physical jitter, two runs of the same program produce the
+// same schedule hash and the same final shared value.
+func TestQuickScheduleDeterminism(t *testing.T) {
+	f := func(nThreads, nOps uint8, seed int64) bool {
+		nt := int(nThreads)%5 + 2
+		no := int(nOps)%30 + 5
+		run := func(jseed int64) (uint64, int) {
+			s := New()
+			s.Start()
+			var m Mutex
+			shared := 0
+			rng := rand.New(rand.NewSource(jseed))
+			root := s.Spawn(nil, "root", func(root *Thread) {
+				var ths []*Thread
+				for i := 0; i < nt; i++ {
+					j := time.Duration(rng.Intn(100)) * time.Microsecond
+					ths = append(ths, s.Spawn(root, fmt.Sprintf("w%d", i), func(th *Thread) {
+						time.Sleep(j)
+						for k := 0; k < no; k++ {
+							th.Lock(&m)
+							shared++
+							th.Unlock(&m)
+						}
+					}))
+				}
+				for _, th := range ths {
+					root.Join(th)
+				}
+			})
+			waitDoneRaw(s, root)
+			h := s.Stats().ScheduleSum
+			s.Kill()
+			s.Join()
+			return h, shared
+		}
+		h1, v1 := run(seed)
+		h2, v2 := run(seed + 12345)
+		return h1 == h2 && v1 == v2 && v1 == nt*no
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gateCounter verifies the gate is invoked on every scheduled op.
+type gateCounter struct{ n atomic.Int64 }
+
+func (g *gateCounter) CheckAdmit(t *Thread) { g.n.Add(1) }
+
+func TestGateCalledPerOp(t *testing.T) {
+	s := New()
+	g := &gateCounter{}
+	s.SetGate(g)
+	done := make(chan struct{})
+	s.Spawn(nil, "t", func(th *Thread) {
+		var m Mutex
+		for i := 0; i < 10; i++ {
+			th.Lock(&m)
+			th.Unlock(&m)
+		}
+		close(done)
+	})
+	<-done
+	if g.n.Load() < 20 {
+		t.Fatalf("gate called %d times, want >= 20", g.n.Load())
+	}
+	s.Kill()
+	s.Join()
+}
+
+func TestFIFOMutexFairness(t *testing.T) {
+	// Three waiters blocked on a mutex must acquire it in wait order.
+	var m Mutex
+	var order []int
+	entered := make(chan struct{}, 3)
+	holderReleased := make(chan struct{})
+	holder := func(th *Thread) {
+		th.Lock(&m)
+		for i := 0; i < 3; i++ {
+			<-entered
+		}
+		// Give waiters time to actually block inside WaitOn.
+		time.Sleep(2 * time.Millisecond)
+		th.Unlock(&m)
+		close(holderReleased)
+	}
+	waiter := func(id int) func(*Thread) {
+		return func(th *Thread) {
+			// Stagger arrival so wait order is 1, 2, 3.
+			time.Sleep(time.Duration(id) * 3 * time.Millisecond)
+			entered <- struct{}{}
+			th.Lock(&m)
+			order = append(order, id)
+			th.Unlock(&m)
+		}
+	}
+	runProgram(t, []func(*Thread){holder, waiter(1), waiter(2), waiter(3)})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("acquisition order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestDistinctCondsDoNotAlias is a regression test: condition variables
+// are wait-queue keys by address, and zero-size objects in Go all share
+// one address. Two conds must wake independently.
+func TestDistinctCondsDoNotAlias(t *testing.T) {
+	var m1, m2 Mutex
+	var c1, c2 Cond
+	if &c1 == &c2 {
+		t.Fatal("distinct Conds share an address (zero-size aliasing)")
+	}
+	var go1, go2 bool
+	got := make(chan int, 2)
+	runProgram(t, []func(*Thread){
+		func(th *Thread) { // waits on c1 for go1
+			th.Lock(&m1)
+			for !go1 {
+				th.CondWait(&c1, &m1)
+			}
+			th.Unlock(&m1)
+			got <- 1
+		},
+		func(th *Thread) { // waits on c2 for go2
+			th.Lock(&m2)
+			for !go2 {
+				th.CondWait(&c2, &m2)
+			}
+			th.Unlock(&m2)
+			got <- 2
+		},
+		func(th *Thread) {
+			// With aliased conds, the c1 signal may wake the c2 waiter,
+			// which re-checks go2, re-waits, and strands the c1 waiter.
+			th.Lock(&m1)
+			go1 = true
+			th.Unlock(&m1)
+			th.CondSignal(&c1)
+			th.Lock(&m2)
+			go2 = true
+			th.Unlock(&m2)
+			th.CondSignal(&c2)
+		},
+	})
+	if len(got) != 2 {
+		t.Fatalf("%d waiters woke", len(got))
+	}
+}

@@ -1,0 +1,68 @@
+package dmt
+
+// Observation support: the REPFRAME application of the paper (§6.2) runs
+// dynamic analysis tools on backup replicas, exploiting that every replica
+// sees the same deterministic execution. The scheduler exposes the stream
+// of synchronization events to an observer, invoked by the token holder —
+// so observation order equals the deterministic schedule order, and an
+// analysis enabled on one backup observes exactly the execution the
+// primary ran.
+
+// EventKind discriminates observed synchronization events.
+type EventKind uint8
+
+// Observable event kinds.
+const (
+	EvLockAcquire EventKind = iota + 1
+	EvLockRelease
+	EvRLockAcquire
+	EvRLockRelease
+	EvWLockAcquire
+	EvWLockRelease
+	EvCondWait
+	EvCondSignal
+	EvCondBroadcast
+	EvThreadExit
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	names := [...]string{"", "LockAcquire", "LockRelease", "RLockAcquire",
+		"RLockRelease", "WLockAcquire", "WLockRelease", "CondWait",
+		"CondSignal", "CondBroadcast", "ThreadExit"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "EventKind(?)"
+}
+
+// Event is one observed synchronization operation.
+type Event struct {
+	Kind   EventKind
+	Thread int    // deterministic thread id
+	Name   string // thread debug name
+	Object any    // the synchronization object (mutex, rwmutex, cond)
+	Clock  uint64 // logical clock at the event
+}
+
+// Observer receives events in deterministic schedule order. It is called
+// with the token held: implementations must be fast and must not call back
+// into the scheduler.
+type Observer func(Event)
+
+// SetObserver installs an observer. Pass nil to disable. Must be called
+// before Start.
+func (s *Scheduler) SetObserver(o Observer) { s.observer = o }
+
+// observe emits an event if an observer is installed. Called by the token
+// holder.
+func (t *Thread) observe(kind EventKind, obj any) {
+	s := t.s
+	if s.observer == nil {
+		return
+	}
+	s.mu.Lock()
+	clock := s.clock
+	s.mu.Unlock()
+	s.observer(Event{Kind: kind, Thread: t.id, Name: t.name, Object: obj, Clock: clock})
+}

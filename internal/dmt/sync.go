@@ -1,0 +1,269 @@
+package dmt
+
+// This file implements Parrot's synchronization wrappers (paper Fig. 9):
+// mutexes, condition variables, reader-writer locks, and the soft-barrier
+// performance hint (§7.4). Every wrapper follows the same shape —
+//
+//	t.GetTurn(); t.Admit(); <manipulate state, possibly WaitOn>; t.PutTurn()
+//
+// — so each completed operation is exactly one logical-clock tick, and the
+// CRANE gate (Admit) runs at every synchronization, which is what lets
+// time-bubble clocks be consumed at a deterministic rate.
+//
+// All wrapper state (locked flags, reader counts, barrier arrival lists) is
+// only ever touched by the token holder, so no additional locking is
+// needed: token hand-off through the scheduler mutex provides the
+// happens-before edges.
+
+// Mutex is a deterministic mutual-exclusion lock (pthread_mutex_t).
+type Mutex struct {
+	locked bool
+	owner  *Thread
+}
+
+// Lock acquires m, blocking deterministically (Fig. 9's try-lock loop:
+// never block while holding the token).
+func (t *Thread) Lock(m *Mutex) {
+	t.GetTurn()
+	t.Admit()
+	for m.locked {
+		t.WaitOn(m)
+	}
+	m.locked = true
+	m.owner = t
+	t.observe(EvLockAcquire, m)
+	t.PutTurn()
+}
+
+// TryLock attempts to acquire m without blocking; it reports success.
+func (t *Thread) TryLock(m *Mutex) bool {
+	t.GetTurn()
+	t.Admit()
+	ok := !m.locked
+	if ok {
+		m.locked = true
+		m.owner = t
+		t.observe(EvLockAcquire, m)
+	}
+	t.PutTurn()
+	return ok
+}
+
+// Unlock releases m and wakes the first deterministic waiter.
+func (t *Thread) Unlock(m *Mutex) {
+	t.GetTurn()
+	t.Admit()
+	if !m.locked {
+		t.PutTurn()
+		panic("dmt: Unlock of unlocked Mutex")
+	}
+	m.locked = false
+	m.owner = nil
+	t.observe(EvLockRelease, m)
+	t.SignalKey(m)
+	t.PutTurn()
+}
+
+// Cond is a deterministic condition variable (pthread_cond_t). The
+// associated mutex is passed to Wait, as in pthreads.
+//
+// The padding byte is load-bearing: wait-queue keys are the objects'
+// addresses, and Go gives every zero-size allocation the same address —
+// an empty struct here would alias every condition variable in the
+// process onto one wait queue.
+type Cond struct{ _ byte }
+
+// CondWait atomically releases m and blocks on c; on wake-up it
+// re-acquires m before returning (pthread_cond_wait).
+func (t *Thread) CondWait(c *Cond, m *Mutex) {
+	t.GetTurn()
+	t.Admit()
+	if !m.locked || m.owner != t {
+		t.PutTurn()
+		panic("dmt: CondWait without holding the mutex")
+	}
+	m.locked = false
+	m.owner = nil
+	t.observe(EvLockRelease, m)
+	t.observe(EvCondWait, c)
+	t.SignalKey(m)
+	t.WaitOn(c)
+	for m.locked {
+		t.WaitOn(m)
+	}
+	m.locked = true
+	m.owner = t
+	t.observe(EvLockAcquire, m)
+	t.PutTurn()
+}
+
+// CondSignal wakes one waiter on c (pthread_cond_signal).
+func (t *Thread) CondSignal(c *Cond) {
+	t.GetTurn()
+	t.Admit()
+	t.observe(EvCondSignal, c)
+	t.SignalKey(c)
+	t.PutTurn()
+}
+
+// CondBroadcast wakes all waiters on c (pthread_cond_broadcast).
+func (t *Thread) CondBroadcast(c *Cond) {
+	t.GetTurn()
+	t.Admit()
+	t.observe(EvCondBroadcast, c)
+	t.BroadcastKey(c)
+	t.PutTurn()
+}
+
+// RWMutex is a deterministic reader-writer lock (pthread_rwlock_t),
+// writer-preferring like glibc's default is not guaranteed; this one is
+// arrival-ordered through the deterministic wait queue.
+type RWMutex struct {
+	readers int
+	writer  bool
+}
+
+// RLock acquires a read lock.
+func (t *Thread) RLock(rw *RWMutex) {
+	t.GetTurn()
+	t.Admit()
+	for rw.writer {
+		t.WaitOn(rw)
+	}
+	rw.readers++
+	t.observe(EvRLockAcquire, rw)
+	t.PutTurn()
+}
+
+// RUnlock releases a read lock.
+func (t *Thread) RUnlock(rw *RWMutex) {
+	t.GetTurn()
+	t.Admit()
+	if rw.readers <= 0 {
+		t.PutTurn()
+		panic("dmt: RUnlock without read lock")
+	}
+	rw.readers--
+	t.observe(EvRLockRelease, rw)
+	if rw.readers == 0 {
+		t.BroadcastKey(rw)
+	}
+	t.PutTurn()
+}
+
+// WLock acquires the write lock.
+func (t *Thread) WLock(rw *RWMutex) {
+	t.GetTurn()
+	t.Admit()
+	for rw.writer || rw.readers > 0 {
+		t.WaitOn(rw)
+	}
+	rw.writer = true
+	t.observe(EvWLockAcquire, rw)
+	t.PutTurn()
+}
+
+// WUnlock releases the write lock and wakes all waiters (they re-check,
+// so a mix of pending readers and writers resolves deterministically).
+func (t *Thread) WUnlock(rw *RWMutex) {
+	t.GetTurn()
+	t.Admit()
+	if !rw.writer {
+		t.PutTurn()
+		panic("dmt: WUnlock without write lock")
+	}
+	rw.writer = false
+	t.observe(EvWLockRelease, rw)
+	t.BroadcastKey(rw)
+	t.PutTurn()
+}
+
+// SoftBarrier is Parrot's performance hint (§7.4): it lines up N threads'
+// computations so the round-robin schedule runs them in parallel instead
+// of accumulating token-parking stalls. It is "soft": arrival beyond a
+// deterministic timeout (measured in logical clock ticks, so it is the
+// same on every replica) releases the group anyway, and the hint can be
+// ignored entirely without affecting program logic.
+type SoftBarrier struct {
+	n        int
+	timeout  uint64 // ticks
+	arrived  int
+	deadline uint64 // clock value at which the current group releases
+}
+
+// NewSoftBarrier creates a soft barrier for groups of n threads with the
+// given timeout in logical clock ticks.
+func NewSoftBarrier(n int, timeoutTicks uint64) *SoftBarrier {
+	if n < 1 {
+		n = 1
+	}
+	if timeoutTicks == 0 {
+		timeoutTicks = 1
+	}
+	return &SoftBarrier{n: n, timeout: timeoutTicks}
+}
+
+// SoftBarrierArrive announces that the calling thread is about to start a
+// lined-up computation. It blocks until n threads arrive or the barrier
+// times out deterministically.
+func (t *Thread) SoftBarrierArrive(sb *SoftBarrier) {
+	t.GetTurn()
+	t.Admit()
+	s := t.s
+	s.mu.Lock()
+	if sb.arrived == 0 {
+		sb.deadline = s.clock + sb.timeout
+		// Register for tick-driven timeout release.
+		s.barriers = append(s.barriers, sb)
+	}
+	sb.arrived++
+	full := sb.arrived >= sb.n
+	s.mu.Unlock()
+	if full {
+		s.mu.Lock()
+		s.resetBarrierLocked(sb)
+		s.mu.Unlock()
+		t.BroadcastKey(sb)
+		t.PutTurn()
+		return
+	}
+	// Wait until the group fills or the deadline tick passes.
+	t.WaitOn(sb)
+	t.PutTurn()
+}
+
+// resetBarrierLocked clears the barrier for its next group and removes it
+// from the active list. Caller holds s.mu.
+func (s *Scheduler) resetBarrierLocked(sb *SoftBarrier) {
+	sb.arrived = 0
+	for i, b := range s.barriers {
+		if b == sb {
+			s.barriers = append(s.barriers[:i], s.barriers[i+1:]...)
+			break
+		}
+	}
+}
+
+// releaseExpiredBarriersLocked releases any barrier whose deadline tick
+// has passed. Called by the token holder on every tick, so the release
+// point in the global schedule is deterministic. Caller holds s.mu.
+func (s *Scheduler) releaseExpiredBarriersLocked() {
+	if len(s.barriers) == 0 {
+		return
+	}
+	for i := 0; i < len(s.barriers); {
+		sb := s.barriers[i]
+		if sb.arrived > 0 && s.clock >= sb.deadline {
+			sb.arrived = 0
+			s.barriers = append(s.barriers[:i], s.barriers[i+1:]...)
+			q := s.waitq[sb]
+			delete(s.waitq, sb)
+			for j, w := range q {
+				s.insertAfterHeadLocked(w, 1+j)
+			}
+			s.signals += uint64(len(q))
+			continue
+		}
+		i++
+	}
+}

@@ -1,0 +1,167 @@
+package papi
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crane/internal/simnet"
+)
+
+// TestParrotPollAndAcceptPassthrough covers the plain-Parrot socket path:
+// poll/accept/recv go through BlockingEnter/Exit and the reentry queue.
+func TestParrotPollAndAcceptPassthrough(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	p := NewParrotProc(net, "srv", nil)
+	got := make(chan string, 1)
+	p.Start(FuncInstance{Main: func(tt T) {
+		l, err := tt.Listen(80)
+		if err != nil {
+			return
+		}
+		// Poll with no pending connection times out.
+		if l.Poll(tt, time.Millisecond) {
+			got <- "early-ready"
+			return
+		}
+		// Then block until the client arrives.
+		if !l.Poll(tt, 5*time.Second) {
+			got <- "poll-timeout"
+			return
+		}
+		c, err := l.Accept(tt)
+		if err != nil {
+			got <- "accept-err"
+			return
+		}
+		buf := make([]byte, 64)
+		var acc []byte
+		for {
+			n, err := c.Recv(tt, buf)
+			acc = append(acc, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				got <- "recv-err"
+				return
+			}
+		}
+		c.Send(tt, []byte("ack"))
+		c.Close(tt)
+		got <- string(acc)
+	}})
+	defer func() { p.Kill(); p.Wait() }()
+
+	time.Sleep(5 * time.Millisecond) // let the early Poll expire
+	conn, err := net.Dial("cli:1", "srv:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("ping"))
+	// Half-close is not modeled; read the ack then close.
+	buf := make([]byte, 8)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		conn.Close()
+	}()
+	_, _ = conn.Read(buf)
+	select {
+	case s := <-got:
+		if s != "ping" {
+			t.Fatalf("server observed %q", s)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("passthrough hung")
+	}
+}
+
+// TestParrotSendsAreScheduled: outgoing sends take the token, so their
+// per-connection order matches the deterministic schedule.
+func TestParrotSendsAreScheduled(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	p := NewParrotProc(net, "srv", nil)
+	var sends atomic.Int64
+	p.Start(FuncInstance{Main: func(tt T) {
+		l, err := tt.Listen(81)
+		if err != nil {
+			return
+		}
+		c, err := l.Accept(tt)
+		if err != nil {
+			return
+		}
+		var hs []Handle
+		for i := 0; i < 3; i++ {
+			i := i
+			hs = append(hs, tt.Spawn(fmt.Sprintf("s%d", i), func(wt T) {
+				for j := 0; j < 5; j++ {
+					if _, err := c.Send(wt, []byte{byte('a' + i)}); err != nil {
+						return
+					}
+					sends.Add(1)
+				}
+			}))
+		}
+		for _, h := range hs {
+			tt.Join(h)
+		}
+		c.Close(tt)
+	}})
+	defer func() { p.Kill(); p.Wait() }()
+	var conn *simnet.Conn
+	var err error
+	for i := 0; i < 300; i++ {
+		conn, err = net.Dial("cli:1", "srv:81")
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc []byte
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for len(acc) < 15 {
+		n, err := conn.Read(buf)
+		acc = append(acc, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if len(acc) != 15 {
+		t.Fatalf("received %d bytes", len(acc))
+	}
+	if sends.Load() != 15 {
+		t.Fatalf("sends = %d", sends.Load())
+	}
+}
+
+// TestNondetListenAfterKill: Listen on a killed process closes promptly.
+func TestNondetListenAfterKill(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	p := NewNondetProc(net, "srv", nil)
+	started := make(chan struct{})
+	p.Start(FuncInstance{Main: func(tt T) {
+		l, err := tt.Listen(82)
+		if err != nil {
+			return
+		}
+		close(started)
+		l.Accept(tt) // blocks until Kill closes the listener
+	}})
+	<-started
+	p.Kill()
+	done := make(chan struct{})
+	go func() { p.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Kill did not unblock Accept")
+	}
+}

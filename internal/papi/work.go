@@ -1,0 +1,48 @@
+package papi
+
+// CPU work simulation. Server workloads in the evaluation (PHP page
+// generation ~70ms, virus scans, video transcodes, SQL queries) are
+// modelled as calibrated busy work: a pure-computation loop with no
+// synchronization, which under DMT runs in parallel exactly as real
+// compute does under Parrot.
+
+// workUnit is the spin count per unit; tuned so one unit is sub-µs on
+// contemporary hardware, letting workloads express realistic mixes without
+// making benchmarks glacial.
+const workUnit = 120
+
+// BurnWork spins for approximately `units` calibrated units. It is
+// deterministic in its effect (none) and nondeterministic only in wall
+// time, like real compute.
+func BurnWork(units int) {
+	var x uint64 = 88172645463325252
+	for i := 0; i < units*workUnit; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	// xorshift64 never reaches zero from a nonzero seed; this branch
+	// defeats dead-code elimination without any shared state.
+	if x == 0 {
+		panic("papi: xorshift invariant broken")
+	}
+}
+
+// DetRand is a stateless deterministic mixer: identical on every replica
+// for identical inputs. Server programs use it wherever the real programs
+// would consume randomness that CRANE would have to make deterministic
+// (e.g. hash seeds derived from request contents).
+func DetRand(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DetRandN returns a deterministic value in [0, n) mixed from seed.
+func DetRandN(seed uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(DetRand(seed) % uint64(n))
+}

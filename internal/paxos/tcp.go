@@ -1,0 +1,163 @@
+package paxos
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport carries consensus messages over real TCP sockets using gob
+// framing — the deployment path for replicas on separate machines (the
+// paper's three-replica LAN). Connections to peers are established lazily
+// and re-established after failures; message loss during reconnects is
+// tolerated by the protocol's heartbeat-driven catch-up.
+type TCPTransport struct {
+	id    int
+	addrs map[int]string // node id -> host:port
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	handler func(Message)
+	conns   map[int]*tcpPeer
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCPTransport listens on addrs[id] and prepares lazy connections to the
+// other peers.
+func NewTCPTransport(id int, addrs map[int]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("paxos: tcp listen %s: %w", addrs[id], err)
+	}
+	t := &TCPTransport{
+		id:    id,
+		addrs: addrs,
+		ln:    ln,
+		conns: make(map[int]*tcpPeer),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listening address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddrs installs the full peer address table. Must be called before
+// the first Send once every peer has bound its listener.
+func (t *TCPTransport) SetPeerAddrs(addrs map[int]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(msg)
+		}
+	}
+}
+
+// Send implements Transport. A send failure drops the cached connection so
+// the next send redials.
+func (t *TCPTransport) Send(to int, msg Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTransportClosed
+	}
+	p := t.conns[to]
+	if p == nil {
+		p = &tcpPeer{}
+		t.conns[to] = p
+	}
+	t.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		c, err := net.DialTimeout("tcp", t.addrs[to], 500*time.Millisecond)
+		if err != nil {
+			return nil // best effort: protocol retransmits
+		}
+		p.conn = c
+		p.enc = gob.NewEncoder(c)
+	}
+	if err := p.enc.Encode(&msg); err != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.enc = nil
+	}
+	return nil
+}
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h func(Message)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[int]*tcpPeer{}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, p := range conns {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+var _ Transport = (*TCPTransport)(nil)
+var _ Transport = (*ChanTransport)(nil)

@@ -1,0 +1,130 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTCPCluster builds a 3-node cluster over loopback TCP.
+func newTCPCluster(t *testing.T, n int) ([]*Node, func(int) []LogEntry) {
+	t.Helper()
+	// First pass: bind listeners on :0 to learn ports.
+	addrs := make(map[int]string, n)
+	transports := make([]*TCPTransport, n)
+	for i := 0; i < n; i++ {
+		tr, err := NewTCPTransport(i, map[int]string{i: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the addr table as we go.
+		transports[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	// Patch every transport's peer table now that all addresses exist.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			transports[i].addrs[j] = addrs[j]
+		}
+	}
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	var mu sync.Mutex
+	logs := make([][]LogEntry, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		node, err := NewNode(Config{
+			ID: i, Peers: peers, Transport: transports[i],
+			HeartbeatInterval: 10 * time.Millisecond,
+			ElectionTimeout:   50 * time.Millisecond,
+			OnDeliver: func(e LogEntry) {
+				mu.Lock()
+				logs[i] = append(logs[i], e)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	return nodes, func(i int) []LogEntry {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]LogEntry, len(logs[i]))
+		copy(out, logs[i])
+		return out
+	}
+}
+
+func TestTCPTransportConsensus(t *testing.T) {
+	nodes, deliveries := newTCPCluster(t, 3)
+	var p *Node
+	waitFor(t, "tcp primary", func() bool {
+		for _, nd := range nodes {
+			if nd.IsPrimary() {
+				p = nd
+				return true
+			}
+		}
+		return false
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := p.Propose([]byte(fmt.Sprintf("tcp-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		waitFor(t, fmt.Sprintf("node %d tcp delivery", i), func() bool {
+			return len(deliveries(i)) == n
+		})
+	}
+	for i := 1; i < 3; i++ {
+		a, b := deliveries(0), deliveries(i)
+		for j := range a {
+			if string(a[j].Payload) != string(b[j].Payload) {
+				t.Fatalf("tcp divergence at %d", j)
+			}
+		}
+	}
+}
+
+func TestTCPTransportCloseIdempotent(t *testing.T) {
+	tr, err := NewTCPTransport(0, map[int]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, Message{Type: MsgHeartbeat}); err != ErrTransportClosed {
+		t.Fatalf("Send after Close = %v", err)
+	}
+}
+
+func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
+	tr, err := NewTCPTransport(0, map[int]string{0: "127.0.0.1:0", 1: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Port 1 is unroutable for us; Send must not error (protocol handles it).
+	if err := tr.Send(1, Message{Type: MsgHeartbeat}); err != nil {
+		t.Fatalf("best-effort Send errored: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package seq
+
+import "testing"
+
+// BenchmarkEnqueueRead measures the proxy→server hot path: enqueue a
+// decided SEND and consume it through ReadData.
+func BenchmarkEnqueueRead(b *testing.B) {
+	s := New()
+	payload := []byte("GET /page0.php HTTP/1.0\r\n\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(&Entry{Index: uint64(i), Kind: KindSend, Conn: 1, Data: payload})
+		if data, _ := s.ReadData(1, 64); len(data) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+// BenchmarkTickBubble measures bubble-clock consumption, the per-sync-op
+// cost the DMT gate adds while a bubble is at the head.
+func BenchmarkTickBubble(b *testing.B) {
+	s := New()
+	s.Enqueue(&Entry{Index: 0, Kind: KindBubble, NClock: uint64(b.N) + 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.TickBubble() {
+			b.Fatal("bubble exhausted early")
+		}
+	}
+}
+
+// BenchmarkHead measures the gate's head inspection (run on every
+// scheduled operation).
+func BenchmarkHead(b *testing.B) {
+	s := New()
+	s.Enqueue(&Entry{Index: 0, Kind: KindSend, Conn: 9, Data: []byte("x")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Head(); !ok {
+			b.Fatal("no head")
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures consensus payload serialization.
+func BenchmarkEncodeDecode(b *testing.B) {
+	e := &Entry{Index: 42, Kind: KindSend, Conn: 7, Data: make([]byte, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := e.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

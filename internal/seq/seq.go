@@ -1,0 +1,280 @@
+// Package seq implements the "PAXOS request sequence" of §3.2: the ordered
+// queue of decided client socket calls and inserted time bubbles that sits
+// between a replica's proxy process and its DMT-scheduled server process.
+// (The original uses Boost shared memory guarded by lockf; here both sides
+// are in-process and a mutex suffices — the contract is identical.)
+//
+// The proxy appends entries in global consensus order; the DMT gate and the
+// socket wrappers consume them: bubbles are decremented one logical clock
+// per synchronization operation, CONNECT entries are consumed by accept(),
+// SEND entries are consumed — possibly partially, by byte count — by
+// recv(), and CLOSE entries make the next recv() on that connection return
+// EOF (Fig. 10/11).
+package seq
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind discriminates sequence entries.
+type Kind uint8
+
+const (
+	// KindConnect is a client connect() observed by the primary's proxy.
+	KindConnect Kind = iota + 1
+	// KindSend is a client send(); Data carries the payload.
+	KindSend
+	// KindClose is a client close().
+	KindClose
+	// KindBubble is a time bubble granting NClock logical clocks during
+	// which no client socket call is admitted (§4).
+	KindBubble
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindConnect:
+		return "CONNECT"
+	case KindSend:
+		return "SEND"
+	case KindClose:
+		return "CLOSE"
+	case KindBubble:
+		return "BUBBLE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one decided consensus value: a client socket call or a time
+// bubble, tagged with its global index (the viewstamp sequence number that
+// also keys checkpoints, §5.1–§5.2).
+type Entry struct {
+	Index  uint64 // global consensus index
+	Kind   Kind
+	Conn   uint64 // connection id for Connect/Send/Close
+	Port   int    // server port the client dialed (Connect only)
+	Data   []byte // payload (Send only)
+	NClock uint64 // remaining logical clocks (Bubble only)
+}
+
+// Encode serializes an entry for the consensus log.
+func (e *Entry) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("seq: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an entry from the consensus log.
+func Decode(b []byte) (*Entry, error) {
+	var e Entry
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("seq: decode: %w", err)
+	}
+	return &e, nil
+}
+
+// Sequence is the ordered, shared queue of decided entries.
+type Sequence struct {
+	mu      sync.Mutex
+	entries []*Entry
+	// lastDrain is when the queue last transitioned to empty (or was
+	// created); the bubbling component compares it against Wtimeout.
+	lastDrain time.Time
+	// stats
+	enqueued      uint64
+	bubbles       uint64
+	clientCalls   uint64
+	bubbleClocks  uint64
+	consumedCalls uint64
+	payloadBytes  uint64
+}
+
+// New creates an empty sequence.
+func New() *Sequence {
+	return &Sequence{lastDrain: time.Now()}
+}
+
+// Enqueue appends a decided entry (called by the proxy in consensus order).
+func (s *Sequence) Enqueue(e *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+	s.enqueued++
+	s.payloadBytes += uint64(len(e.Data)) + 16 // payload + entry framing
+	if e.Kind == KindBubble {
+		s.bubbles++
+	} else {
+		s.clientCalls++
+	}
+}
+
+// Empty reports whether no entry is pending.
+func (s *Sequence) Empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries) == 0
+}
+
+// Len returns the number of pending entries.
+func (s *Sequence) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Head returns a copy of the head entry without consuming it.
+func (s *Sequence) Head() (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return Entry{}, false
+	}
+	return *s.entries[0], true
+}
+
+// EmptyFor reports whether the sequence has been continuously empty for at
+// least d (the Wtimeout test that triggers a bubble request).
+func (s *Sequence) EmptyFor(d time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries) == 0 && time.Since(s.lastDrain) >= d
+}
+
+// TickBubble consumes one logical clock from the head bubble, removing it
+// when exhausted (Fig. 10 lines 6–7). It reports whether the head was a
+// bubble.
+func (s *Sequence) TickBubble() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 || s.entries[0].Kind != KindBubble {
+		return false
+	}
+	e := s.entries[0]
+	if e.NClock > 0 {
+		e.NClock--
+		s.bubbleClocks++
+	}
+	if e.NClock == 0 {
+		s.popLocked()
+	}
+	return true
+}
+
+// PopConnect consumes a head CONNECT entry, returning its connection id and
+// port. Used by the accept() wrapper.
+func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 || s.entries[0].Kind != KindConnect {
+		return 0, 0, false
+	}
+	e := s.entries[0]
+	s.popLocked()
+	s.consumedCalls++
+	return e.Conn, e.Port, true
+}
+
+// ReadData consumes up to max bytes from head SEND entries belonging to
+// conn ("dequeues a number of matching send() calls according to the
+// actual bytes received", Fig. 11). It stops at the first non-matching
+// entry. If the head is a CLOSE for conn and no bytes were read, it
+// consumes the CLOSE and reports EOF.
+func (s *Sequence) ReadData(conn uint64, max int) (data []byte, eof bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for max > 0 && len(s.entries) > 0 {
+		e := s.entries[0]
+		if e.Kind != KindSend || e.Conn != conn {
+			break
+		}
+		n := len(e.Data)
+		if n > max {
+			n = max
+		}
+		data = append(data, e.Data[:n]...)
+		e.Data = e.Data[n:]
+		max -= n
+		if len(e.Data) == 0 {
+			s.popLocked()
+			s.consumedCalls++
+		}
+	}
+	if len(data) == 0 && len(s.entries) > 0 {
+		e := s.entries[0]
+		if e.Kind == KindClose && e.Conn == conn {
+			s.popLocked()
+			s.consumedCalls++
+			return nil, true
+		}
+	}
+	return data, false
+}
+
+// PopIfConn discards a head SEND/CLOSE entry belonging to conn. Used to
+// drain calls addressed to a connection the server has already closed,
+// which no recv() will ever consume.
+func (s *Sequence) PopIfConn(conn uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return false
+	}
+	e := s.entries[0]
+	if (e.Kind != KindSend && e.Kind != KindClose) || e.Conn != conn {
+		return false
+	}
+	s.popLocked()
+	s.consumedCalls++
+	return true
+}
+
+func (s *Sequence) popLocked() {
+	s.entries[0] = nil
+	s.entries = s.entries[1:]
+	if len(s.entries) == 0 {
+		s.lastDrain = time.Now()
+	}
+}
+
+// Stats is a snapshot of sequence counters; Table 1 is computed from it.
+type Stats struct {
+	Enqueued     uint64 // all entries ever enqueued
+	Bubbles      uint64 // time bubbles enqueued
+	ClientCalls  uint64 // client socket calls enqueued
+	BubbleClocks uint64 // logical clocks consumed from bubbles
+	Consumed     uint64 // client socket calls fully consumed
+	Pending      int    // entries currently queued
+	PayloadBytes uint64 // total consensus payload bytes enqueued
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sequence) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Enqueued:     s.enqueued,
+		Bubbles:      s.bubbles,
+		ClientCalls:  s.clientCalls,
+		BubbleClocks: s.bubbleClocks,
+		Consumed:     s.consumedCalls,
+		Pending:      len(s.entries),
+		PayloadBytes: s.payloadBytes,
+	}
+}
+
+// BubbleRatio returns the fraction of consensus requests that were time
+// bubbles (Table 1's rightmost column), or 0 if nothing was enqueued.
+func (st Stats) BubbleRatio() float64 {
+	if st.Enqueued == 0 {
+		return 0
+	}
+	return float64(st.Bubbles) / float64(st.Enqueued)
+}

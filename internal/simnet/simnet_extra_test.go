@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBacklogOverflowRefusesDial(t *testing.T) {
+	n := New(Options{AcceptBacklog: 2})
+	l, err := n.Listen("s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Fill the backlog without accepting.
+	if _, err := n.Dial("a:1", "s:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial("a:2", "s:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial("a:3", "s:1"); err == nil {
+		t.Fatal("dial into full backlog succeeded")
+	}
+	// Accepting drains the backlog and dials succeed again.
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial("a:4", "s:1"); err != nil {
+		t.Fatalf("dial after drain: %v", err)
+	}
+}
+
+func TestWriteAfterOwnClose(t *testing.T) {
+	n := New(Options{})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	go l.Accept()
+	c, err := n.Dial("c:1", "s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Write after own Close: %v", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestReadableReflectsDeliveredData(t *testing.T) {
+	n := New(Options{Latency: 10 * time.Millisecond})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	serverCh := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		serverCh <- c
+	}()
+	c, _ := n.Dial("c:1", "s:1")
+	server := <-serverCh
+	if server.Readable() {
+		t.Fatal("Readable before any write")
+	}
+	c.Write([]byte("x"))
+	if server.Readable() {
+		t.Fatal("Readable before the latency elapsed")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !server.Readable() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !server.Readable() {
+		t.Fatal("never became readable")
+	}
+}
+
+func TestManySequentialConnections(t *testing.T) {
+	// Regression guard for listener/accept resource reuse: many
+	// short-lived connections through one listener.
+	n := New(Options{})
+	l, _ := n.Listen("s:1")
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 8)
+			nn, _ := c.Read(buf)
+			c.Write(buf[:nn])
+			c.Close()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c, err := n.Dial("c:1", "s:1")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		c.Write([]byte{byte(i)})
+		buf := make([]byte, 8)
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		nn, err := c.Read(buf)
+		if err != nil || nn != 1 || buf[0] != byte(i) {
+			t.Fatalf("echo %d: n=%d err=%v", i, nn, err)
+		}
+		c.Close()
+	}
+	wg.Wait()
+}

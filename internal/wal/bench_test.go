@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAppendNoSync measures append throughput without fsync (the
+// configuration the in-process tests use).
+func BenchmarkAppendNoSync(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload) + recordHeaderSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Record{Index: uint64(i), Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSync measures durable append cost (every record synced,
+// the paper's Berkeley-DB-on-SSD configuration).
+func BenchmarkAppendSync(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Record{Index: uint64(i), Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGet measures random record reads.
+func BenchmarkGet(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if err := l.Append(Record{Index: uint64(i), Payload: []byte(fmt.Sprintf("rec-%d", i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Get(uint64(i % n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryScan measures reopen (crash-recovery) time for a
+// 10k-record log.
+func BenchmarkRecoveryScan(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := l.Append(Record{Index: uint64(i), Payload: make([]byte, 64)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l2.Len() != 10000 {
+			b.Fatal("short recovery")
+		}
+		l2.Close()
+	}
+}

@@ -1,0 +1,437 @@
+// Package wal implements the persistent consensus-decision log used by the
+// Paxos component (§5.1 of the paper: "each consensus component persistently
+// stores the call type, arguments, and global index into a Berkeley DB
+// storage on SSD"). It is an append-only, CRC-checksummed, segmented log:
+// the stand-in for Berkeley DB in this reproduction.
+//
+// Records are keyed by a monotonically increasing global index (the
+// viewstamp's sequence part). The log supports appending a record, reading
+// any record back, scanning a range in order, truncating a suffix (needed
+// during view changes when an uncommitted tail is superseded), and crash
+// recovery: on open, the log scans all segments and discards any torn tail
+// record whose checksum does not match.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Record is a single durable entry: an opaque payload bound to a global
+// index and a view number (the viewstamp under which it was decided).
+type Record struct {
+	Index   uint64 // global, monotonically increasing consensus index
+	View    uint64 // view in which the record was decided
+	Payload []byte
+}
+
+// ErrNotFound is returned when a requested index is not in the log.
+var ErrNotFound = errors.New("wal: record not found")
+
+// ErrOutOfOrder is returned when an append does not follow the tail index.
+var ErrOutOfOrder = errors.New("wal: append index out of order")
+
+// ErrCorrupt is returned when a record fails its checksum during a read of
+// an interior (non-tail) record; torn tails are silently truncated instead.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const (
+	// recordHeaderSize is crc(4) + length(4) + index(8) + view(8).
+	recordHeaderSize = 24
+	// DefaultSegmentSize is the byte threshold after which a new segment
+	// file is started. Small enough that tests exercise rollover.
+	DefaultSegmentSize = 1 << 20
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize is the rollover threshold in bytes. Zero means
+	// DefaultSegmentSize.
+	SegmentSize int64
+	// NoSync disables fsync on append. The paper's deployment syncs to
+	// SSD; tests may disable it for speed.
+	NoSync bool
+}
+
+// Log is an append-only segmented record log. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	segments []*segment // ordered by first index
+	active   *segment
+	next     uint64 // next index to append
+	first    uint64 // first index present (0 if empty)
+	empty    bool
+	closed   bool
+}
+
+type segment struct {
+	path    string
+	first   uint64 // first index stored in this segment
+	f       *os.File
+	size    int64
+	offsets map[uint64]int64 // index -> file offset of record header
+}
+
+// Open opens (or creates) a log in dir.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, empty: true}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		seg, err := openSegment(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(seg.offsets) == 0 {
+			// Empty (fully torn) segment: remove it unless it is the
+			// only one; keeping empty files around would confuse the
+			// first-index bookkeeping.
+			seg.f.Close()
+			os.Remove(name)
+			continue
+		}
+		l.segments = append(l.segments, seg)
+	}
+	for _, seg := range l.segments {
+		for idx := range seg.offsets {
+			if l.empty || idx < l.first {
+				l.first = idx
+			}
+			if l.empty || idx+1 > l.next {
+				l.next = idx + 1
+			}
+			l.empty = false
+		}
+	}
+	if len(l.segments) > 0 {
+		l.active = l.segments[len(l.segments)-1]
+	}
+	return l, nil
+}
+
+func openSegment(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	seg := &segment{path: path, f: f, offsets: make(map[uint64]int64)}
+	var off int64
+	hdr := make([]byte, recordHeaderSize)
+	for {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			break // EOF or short read: end of valid data
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		index := binary.LittleEndian.Uint64(hdr[8:16])
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, off+recordHeaderSize); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(append(append([]byte{}, hdr[4:]...), payload...)) != crc {
+			break // torn or corrupt tail: truncate here
+		}
+		if len(seg.offsets) == 0 {
+			seg.first = index
+		}
+		seg.offsets[index] = off
+		off += recordHeaderSize + int64(length)
+	}
+	// Truncate any torn tail so future appends start at a clean offset.
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	seg.size = off
+	return seg, nil
+}
+
+// Append durably appends rec. rec.Index must equal Tail()+1 (or anything
+// when the log is empty — the first append defines the base index, which
+// lets a restored replica resume from a checkpoint's global index).
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	if !l.empty && rec.Index != l.next {
+		return fmt.Errorf("%w: got %d want %d", ErrOutOfOrder, rec.Index, l.next)
+	}
+	if l.active == nil || l.active.size >= l.opts.SegmentSize {
+		if err := l.rollover(rec.Index); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, recordHeaderSize+len(rec.Payload))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(rec.Payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], rec.Index)
+	binary.LittleEndian.PutUint64(buf[16:24], rec.View)
+	copy(buf[recordHeaderSize:], rec.Payload)
+	crc := crc32.ChecksumIEEE(buf[4:])
+	binary.LittleEndian.PutUint32(buf[0:4], crc)
+	off := l.active.size
+	if _, err := l.active.f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.active.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.active.offsets[rec.Index] = off
+	l.active.size += int64(len(buf))
+	if l.empty {
+		l.first = rec.Index
+		l.empty = false
+	}
+	l.next = rec.Index + 1
+	return nil
+}
+
+func (l *Log) rollover(firstIndex uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("seg-%020d.wal", firstIndex))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rollover: %w", err)
+	}
+	seg := &segment{path: path, first: firstIndex, f: f, offsets: make(map[uint64]int64)}
+	l.segments = append(l.segments, seg)
+	l.active = seg
+	return nil
+}
+
+// Get reads the record at index.
+func (l *Log) Get(index uint64) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.getLocked(index)
+}
+
+func (l *Log) getLocked(index uint64) (Record, error) {
+	for i := len(l.segments) - 1; i >= 0; i-- {
+		seg := l.segments[i]
+		off, ok := seg.offsets[index]
+		if !ok {
+			continue
+		}
+		return readRecord(seg.f, off)
+	}
+	return Record{}, fmt.Errorf("%w: index %d", ErrNotFound, index)
+}
+
+func readRecord(f *os.File, off int64) (Record, error) {
+	hdr := make([]byte, recordHeaderSize)
+	if _, err := f.ReadAt(hdr, off); err != nil {
+		return Record{}, fmt.Errorf("wal: read header: %w", err)
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	length := binary.LittleEndian.Uint32(hdr[4:8])
+	rec := Record{
+		Index: binary.LittleEndian.Uint64(hdr[8:16]),
+		View:  binary.LittleEndian.Uint64(hdr[16:24]),
+	}
+	rec.Payload = make([]byte, length)
+	if _, err := f.ReadAt(rec.Payload, off+recordHeaderSize); err != nil {
+		return Record{}, fmt.Errorf("wal: read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(append(append([]byte{}, hdr[4:]...), rec.Payload...)) != crc {
+		return Record{}, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// Scan calls fn for every record with index in [from, to) in increasing
+// order. Missing indexes (before First or after Tail) are skipped; a record
+// inside the live range that cannot be read aborts the scan with its error.
+// fn returning false stops the scan early.
+func (l *Log) Scan(from, to uint64, fn func(Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.empty {
+		return nil
+	}
+	if from < l.first {
+		from = l.first
+	}
+	if to > l.next {
+		to = l.next
+	}
+	for idx := from; idx < to; idx++ {
+		rec, err := l.getLocked(idx)
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TruncateFrom removes every record with index >= from. Used during view
+// changes to drop a superseded uncommitted suffix.
+func (l *Log) TruncateFrom(from uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.empty || from >= l.next {
+		return nil
+	}
+	// Drop whole segments whose first index is >= from.
+	for len(l.segments) > 0 {
+		seg := l.segments[len(l.segments)-1]
+		if seg.first < from {
+			break
+		}
+		seg.f.Close()
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: truncate remove: %w", err)
+		}
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	if len(l.segments) == 0 {
+		l.active = nil
+		l.empty = true
+		l.first, l.next = 0, 0
+		return nil
+	}
+	// Trim the (new) last segment in place.
+	seg := l.segments[len(l.segments)-1]
+	cut := seg.size
+	for idx, off := range seg.offsets {
+		if idx >= from {
+			if off < cut {
+				cut = off
+			}
+			delete(seg.offsets, idx)
+		}
+	}
+	if err := seg.f.Truncate(cut); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	seg.size = cut
+	l.active = seg
+	if from < l.next {
+		l.next = from
+	}
+	if l.first >= l.next {
+		l.empty = true
+		l.first, l.next = 0, 0
+	}
+	return nil
+}
+
+// CompactBefore removes whole segments all of whose records have index
+// < from. Called after a checkpoint at index from-1 makes the prefix
+// recoverable elsewhere (§5.2: each checkpoint is associated with a global
+// index). Partial segments are kept, so some records below from may
+// survive; that is safe — compaction is a space optimization.
+func (l *Log) CompactBefore(from uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.segments) > 1 {
+		// A segment is fully below `from` iff the next segment starts at
+		// or below `from` (records are contiguous across segments).
+		next := l.segments[1]
+		if next.first > from {
+			break
+		}
+		seg := l.segments[0]
+		seg.f.Close()
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: compact remove: %w", err)
+		}
+		l.segments = l.segments[1:]
+		l.first = next.first
+	}
+	return nil
+}
+
+// First returns the lowest index present, and false if the log is empty.
+func (l *Log) First() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first, !l.empty
+}
+
+// Tail returns the highest index present, and false if the log is empty.
+func (l *Log) Tail() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.empty {
+		return 0, false
+	}
+	return l.next - 1, true
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.empty {
+		return 0
+	}
+	return int(l.next - l.first)
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	return l.active.f.Sync()
+}
+
+// Close closes all segment files. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var firstErr error
+	for _, seg := range l.segments {
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CopyAll returns every record in order. Intended for tests and for
+// shipping a log prefix to a recovering replica.
+func (l *Log) CopyAll() ([]Record, error) {
+	var out []Record
+	err := l.Scan(0, ^uint64(0), func(r Record) bool {
+		out = append(out, r)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var _ io.Closer = (*Log)(nil)

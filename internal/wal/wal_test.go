@@ -1,0 +1,525 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTest(t *testing.T) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 4096})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, dir
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 100; i++ {
+		rec := Record{Index: i, View: i / 10, Payload: []byte(fmt.Sprintf("payload-%d", i))}
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		rec, err := l.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if rec.Index != i || rec.View != i/10 || string(rec.Payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("Get(%d) = %+v", i, rec)
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l, _ := openTest(t)
+	if _, ok := l.First(); ok {
+		t.Error("First on empty log reported ok")
+	}
+	if _, ok := l.Tail(); ok {
+		t.Error("Tail on empty log reported ok")
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+	if _, err := l.Get(0); err == nil {
+		t.Error("Get on empty log succeeded")
+	}
+}
+
+func TestAppendOutOfOrderRejected(t *testing.T) {
+	l, _ := openTest(t)
+	if err := l.Append(Record{Index: 5}); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := l.Append(Record{Index: 7}); err == nil {
+		t.Fatal("gap append succeeded")
+	}
+	if err := l.Append(Record{Index: 5}); err == nil {
+		t.Fatal("duplicate append succeeded")
+	}
+	if err := l.Append(Record{Index: 6}); err != nil {
+		t.Fatalf("sequential append: %v", err)
+	}
+}
+
+func TestBaseIndexNonZero(t *testing.T) {
+	// A restored replica resumes appending from its checkpoint index.
+	l, _ := openTest(t)
+	if err := l.Append(Record{Index: 1000, Payload: []byte("x")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	first, ok := l.First()
+	if !ok || first != 1000 {
+		t.Fatalf("First = %d,%v want 1000,true", first, ok)
+	}
+}
+
+func TestReopenRecoversAll(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := l.Append(Record{Index: i, View: 3, Payload: bytes.Repeat([]byte{byte(i)}, int(i%50))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{NoSync: true, SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != n {
+		t.Fatalf("recovered Len = %d, want %d", l2.Len(), n)
+	}
+	tail, _ := l2.Tail()
+	if tail != n-1 {
+		t.Fatalf("recovered Tail = %d, want %d", tail, n-1)
+	}
+	for i := uint64(0); i < n; i += 37 {
+		rec, err := l2.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(rec.Payload, bytes.Repeat([]byte{byte(i)}, int(i%50))) {
+			t.Fatalf("Get(%d) payload mismatch", i)
+		}
+	}
+	// Appends continue where the old log left off.
+	if err := l2.Append(Record{Index: n}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestTornTailDiscardedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := l.Append(Record{Index: i, Payload: []byte("0123456789")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Corrupt the tail: chop bytes off the only segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if l2.Len() != 9 {
+		t.Fatalf("Len after torn tail = %d, want 9", l2.Len())
+	}
+	// The torn record is re-appendable.
+	if err := l2.Append(Record{Index: 9, Payload: []byte("redo")}); err != nil {
+		t.Fatalf("re-append after torn tail: %v", err)
+	}
+	rec, err := l2.Get(9)
+	if err != nil || string(rec.Payload) != "redo" {
+		t.Fatalf("Get(9) = %v, %v", rec, err)
+	}
+}
+
+func TestCorruptedMiddleDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if err := l.Append(Record{Index: i, Payload: bytes.Repeat([]byte("a"), 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte in the middle record's payload, in place.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'Z'}, recordHeaderSize+100+recordHeaderSize+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := l.Get(1); err == nil {
+		t.Fatal("Get of corrupted record succeeded")
+	}
+}
+
+func TestScanRangeAndEarlyStop(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 50; i++ {
+		if err := l.Append(Record{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := l.Scan(10, 20, func(r Record) bool {
+		got = append(got, r.Index)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("Scan(10,20) = %v", got)
+	}
+	got = got[:0]
+	if err := l.Scan(0, 100, func(r Record) bool {
+		got = append(got, r.Index)
+		return len(got) < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("early stop scan returned %d records", len(got))
+	}
+}
+
+func TestTruncateFrom(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 200; i++ {
+		if err := l.Append(Record{Index: i, Payload: bytes.Repeat([]byte("x"), 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateFrom(150); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 150 {
+		t.Fatalf("Len after truncate = %d, want 150", l.Len())
+	}
+	if _, err := l.Get(150); err == nil {
+		t.Fatal("Get(150) after truncate succeeded")
+	}
+	if _, err := l.Get(149); err != nil {
+		t.Fatalf("Get(149) after truncate: %v", err)
+	}
+	// Appending resumes at the cut point.
+	if err := l.Append(Record{Index: 150, Payload: []byte("new")}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	rec, err := l.Get(150)
+	if err != nil || string(rec.Payload) != "new" {
+		t.Fatalf("Get(150) = %v, %v", rec, err)
+	}
+}
+
+func TestTruncateAll(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 20; i++ {
+		if err := l.Append(Record{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateFrom(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len after full truncate = %d", l.Len())
+	}
+	// Log accepts a fresh base index afterwards.
+	if err := l.Append(Record{Index: 42}); err != nil {
+		t.Fatalf("append after full truncate: %v", err)
+	}
+}
+
+func TestTruncateAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(0); i < 100; i++ {
+		if err := l.Append(Record{Index: i, Payload: bytes.Repeat([]byte("y"), 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.segments) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(l.segments))
+	}
+	if err := l.TruncateFrom(10); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	for i := uint64(10); i < 100; i++ {
+		if _, err := l.Get(i); err == nil {
+			t.Fatalf("Get(%d) succeeded after truncate", i)
+		}
+	}
+}
+
+func TestSegmentRolloverPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if err := l.Append(Record{Index: i, Payload: bytes.Repeat([]byte("z"), 32)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2, err := Open(dir, Options{NoSync: true, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.CopyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 64 {
+		t.Fatalf("CopyAll len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Index != uint64(i) {
+			t.Fatalf("recs[%d].Index = %d", i, r.Index)
+		}
+	}
+}
+
+// TestQuickRoundTrip property: any sequence of payloads appended comes back
+// intact, in order, after a reopen.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		if len(payloads) > 200 {
+			payloads = payloads[:200]
+		}
+		dir, err := os.MkdirTemp("", "walq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		l, err := Open(dir, Options{NoSync: true, SegmentSize: 512})
+		if err != nil {
+			return false
+		}
+		for i, p := range payloads {
+			if err := l.Append(Record{Index: uint64(i), Payload: p}); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		l2, err := Open(dir, Options{NoSync: true, SegmentSize: 512})
+		if err != nil {
+			return false
+		}
+		defer l2.Close()
+		recs, err := l2.CopyAll()
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i, p := range payloads {
+			if !bytes.Equal(recs[i].Payload, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTruncateInvariant property: after TruncateFrom(k), Len is
+// min(len, k) (for base index 0) and all surviving records read back.
+func TestQuickTruncateInvariant(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		dir, err := os.MkdirTemp("", "walt")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		l, err := Open(dir, Options{NoSync: true, SegmentSize: 256})
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+		for i := uint64(0); i < uint64(n); i++ {
+			if err := l.Append(Record{Index: i, Payload: []byte{byte(i)}}); err != nil {
+				return false
+			}
+		}
+		if err := l.TruncateFrom(uint64(k)); err != nil {
+			return false
+		}
+		want := int(n)
+		if int(k) < want {
+			want = int(k)
+		}
+		if l.Len() != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			rec, err := l.Get(uint64(i))
+			if err != nil || rec.Payload[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersDuringAppend(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 100; i++ {
+		if err := l.Append(Record{Index: i, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 4)
+	for r := 0; r < 3; r++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 500; j++ {
+				idx := uint64(rng.Intn(100))
+				rec, err := l.Get(idx)
+				if err != nil {
+					done <- err
+					return
+				}
+				if rec.Payload[0] != byte(idx) {
+					done <- fmt.Errorf("payload mismatch at %d", idx)
+					return
+				}
+			}
+			done <- nil
+		}(int64(r))
+	}
+	go func() {
+		for i := uint64(100); i < 300; i++ {
+			if err := l.Append(Record{Index: i, Payload: []byte{byte(i)}}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompactBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(0); i < 100; i++ {
+		if err := l.Append(Record{Index: i, Payload: bytes.Repeat([]byte("c"), 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := len(l.segments)
+	if segsBefore < 4 {
+		t.Fatalf("want multiple segments, got %d", segsBefore)
+	}
+	if err := l.CompactBefore(50); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segments) >= segsBefore {
+		t.Fatalf("no segments removed: %d -> %d", segsBefore, len(l.segments))
+	}
+	// Everything >= 50 still readable; appends still contiguous.
+	for i := uint64(50); i < 100; i++ {
+		if _, err := l.Get(i); err != nil {
+			t.Fatalf("Get(%d) after compaction: %v", i, err)
+		}
+	}
+	if err := l.Append(Record{Index: 100}); err != nil {
+		t.Fatalf("append after compaction: %v", err)
+	}
+	// Reopen: survives restart.
+	l.Close()
+	l2, err := Open(dir, Options{NoSync: true, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	first, _ := l2.First()
+	if first == 0 {
+		t.Fatalf("compacted prefix resurrected: first=%d", first)
+	}
+	if _, err := l2.Get(99); err != nil {
+		t.Fatalf("Get(99) after reopen: %v", err)
+	}
+}
+
+func TestCompactBeforeKeepsActiveSegment(t *testing.T) {
+	l, _ := openTest(t)
+	for i := uint64(0); i < 5; i++ {
+		l.Append(Record{Index: i})
+	}
+	// Compacting beyond the tail must keep the single active segment.
+	if err := l.CompactBefore(1000); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() == 0 {
+		t.Fatal("compaction emptied the active segment")
+	}
+	if err := l.Append(Record{Index: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
