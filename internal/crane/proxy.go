@@ -16,6 +16,9 @@ import (
 type proxy struct {
 	r *Replica
 
+	subCh  chan submitReq
+	stopCh chan struct{}
+
 	mu        sync.Mutex
 	listeners []*simnet.Listener
 	conns     map[uint64]*simnet.Conn
@@ -24,13 +27,31 @@ type proxy struct {
 	wg        sync.WaitGroup
 }
 
+// submitReq is one entry awaiting consensus submission; done reports
+// whether the burst containing it was accepted for ordering.
+type submitReq struct {
+	e    *seq.Entry
+	done chan bool
+}
+
+// maxProxyBurst caps how many queued socket calls one ProposeBatch carries
+// (the paxos batcher enforces its own MaxBatch/MaxBatchBytes downstream).
+const maxProxyBurst = 64
+
 func newProxy(r *Replica) *proxy {
-	return &proxy{r: r, conns: make(map[uint64]*simnet.Conn)}
+	return &proxy{
+		r:      r,
+		subCh:  make(chan submitReq, 4*maxProxyBurst),
+		stopCh: make(chan struct{}),
+		conns:  make(map[uint64]*simnet.Conn),
+	}
 }
 
 // start binds the program's ports on this replica's host and begins
 // accepting.
 func (p *proxy) start() error {
+	p.wg.Add(1)
+	go p.submitLoop()
 	for _, port := range p.r.prog.Ports {
 		l, err := p.r.net.Listen(simnet.Addr(fmt.Sprintf("%s:%d", p.r.host, port)))
 		if err != nil {
@@ -95,15 +116,61 @@ func (p *proxy) readLoop(c *simnet.Conn, id uint64) {
 	}
 }
 
-// propose submits a socket-call entry for consensus; it reports false when
-// this replica is no longer primary (the client should reconnect to the
-// new primary).
+// propose submits an entry for consensus through the burst submitter; it
+// reports false when this replica is no longer primary (the client should
+// reconnect to the new primary). Callers block until the burst containing
+// their entry is accepted for ordering, so the per-producer flow stays
+// synchronous while concurrent connections share one ProposeBatch.
 func (p *proxy) propose(e *seq.Entry) bool {
-	payload, err := e.Encode()
-	if err != nil {
+	req := submitReq{e: e, done: make(chan bool, 1)}
+	select {
+	case p.subCh <- req:
+	case <-p.stopCh:
 		return false
 	}
-	return p.r.node.Propose(payload) == nil
+	select {
+	case ok := <-req.done:
+		return ok
+	case <-p.stopCh:
+		return false
+	}
+}
+
+// submitLoop coalesces queued socket calls from all client connections into
+// ProposeBatch bursts. A time bubble terminates the burst it rides in: no
+// later socket call is packaged after it, keeping the per-burst logical-time
+// consensus of §4 intact (the bubble's clocks elapse before any call queued
+// behind it is even submitted).
+func (p *proxy) submitLoop() {
+	defer p.wg.Done()
+	reqs := make([]submitReq, 0, maxProxyBurst)
+	for {
+		reqs = reqs[:0]
+		select {
+		case r := <-p.subCh:
+			reqs = append(reqs, r)
+		case <-p.stopCh:
+			return
+		}
+	drain:
+		for len(reqs) < maxProxyBurst && reqs[len(reqs)-1].e.Kind != seq.KindBubble {
+			select {
+			case r := <-p.subCh:
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+		ents := make([]*seq.Entry, len(reqs))
+		for i, r := range reqs {
+			ents[i] = r.e
+		}
+		payloads, err := seq.EncodeBatch(ents)
+		ok := err == nil && p.r.node.ProposeBatch(payloads) == nil
+		for _, r := range reqs {
+			r.done <- ok
+		}
+	}
 }
 
 // forward relays a server response to the client (primary only; on
@@ -142,6 +209,7 @@ func (p *proxy) close() {
 	conns := p.conns
 	p.conns = map[uint64]*simnet.Conn{}
 	p.mu.Unlock()
+	close(p.stopCh)
 	for _, l := range ls {
 		l.Close()
 	}

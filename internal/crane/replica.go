@@ -255,12 +255,10 @@ func (r *Replica) maybeRequestBubble() {
 	}
 	r.bubbleSince.Store(now)
 	e := seq.Entry{Kind: seq.KindBubble, NClock: r.cfg.Nclock}
-	payload, err := e.Encode()
-	if err != nil {
-		r.bubblePending.Store(false)
-		return
-	}
-	if err := r.node.Propose(payload); err != nil {
+	// Bubbles ride the proxy's burst submitter so a bubble terminates the
+	// burst it lands in (§4: no socket call queued behind the bubble is
+	// packaged after it).
+	if !r.px.propose(&e) {
 		r.bubblePending.Store(false)
 	}
 }

@@ -108,7 +108,24 @@ type Config struct {
 	// true (all replicas must agree on the initial configuration, as in
 	// any SMR deployment).
 	InitialPrimary int
+	// MaxBatch caps how many queued proposals are coalesced into one
+	// multi-entry Accept round (default 64).
+	MaxBatch int
+	// MaxBatchBytes caps the payload bytes per Accept round (default
+	// 256 KiB). A single oversized payload still ships alone.
+	MaxBatchBytes int
+	// MaxInflight is the Accept-round pipeline window: how many batches
+	// may await majority acknowledgment at once (default 4). 1 restores
+	// strict one-round-at-a-time ordering latency.
+	MaxInflight int
 }
+
+// Batching defaults.
+const (
+	DefaultMaxBatch      = 64
+	DefaultMaxBatchBytes = 256 << 10
+	DefaultMaxInflight   = 4
+)
 
 // ErrNotPrimary is returned by Propose on a non-primary node.
 var ErrNotPrimary = errors.New("paxos: not primary")
@@ -118,7 +135,7 @@ var ErrStopped = errors.New("paxos: stopped")
 
 type event struct {
 	msg     *Message
-	propose []byte
+	batch   [][]byte
 	reply   chan error
 	compact uint64
 	reply2  chan struct{}
@@ -144,6 +161,9 @@ type Node struct {
 	commitIdx  uint64
 	acks       map[uint64]map[int]bool
 	lastHB     time.Time
+	flusher    Flusher  // Transport's batch-boundary hook, nil if none
+	pending    [][]byte // queued proposals not yet in an Accept round
+	inflight   []uint64 // last index of each unacknowledged Accept round
 	electDelay time.Duration // randomized election timeout
 	electRng   *rand.Rand    // re-randomizes the timeout per retry
 
@@ -182,6 +202,15 @@ func NewNode(cfg Config) (*Node, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, errors.New("paxos: no peers")
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
 	n := &Node{
 		cfg:     cfg,
 		events:  make(chan event, 4096),
@@ -190,6 +219,7 @@ func NewNode(cfg Config) (*Node, error) {
 		acks:    make(map[uint64]map[int]bool),
 		lastHB:  time.Now(),
 	}
+	n.flusher, _ = cfg.Transport.(Flusher)
 	// Randomize the election timeout per node to break candidate ties;
 	// re-randomized on every retry so near-identical draws cannot keep
 	// two candidates colliding round after round.
@@ -250,10 +280,25 @@ func (n *Node) Stop() {
 // Propose submits a payload for consensus. Only the primary accepts
 // proposals; commitment is reported asynchronously through OnDeliver.
 func (n *Node) Propose(payload []byte) error {
+	return n.ProposeBatch([][]byte{payload})
+}
+
+// ProposeBatch submits a burst of payloads for consensus in submission
+// order — the proposal primitive. The batcher coalesces queued payloads
+// (across concurrent callers, up to MaxBatch/MaxBatchBytes) into
+// multi-entry Accept rounds and keeps up to MaxInflight rounds in flight,
+// so the per-round broadcast and the backup-side fsync are amortized over
+// the burst. A nil error means the payloads were accepted for ordering;
+// commitment is reported asynchronously through OnDeliver, and (as with
+// any uncommitted proposal) a view change may still discard them.
+func (n *Node) ProposeBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
 	if !n.IsPrimary() {
 		return ErrNotPrimary
 	}
-	ev := event{propose: payload, reply: make(chan error, 1)}
+	ev := event{batch: payloads, reply: make(chan error, 1)}
 	select {
 	case n.events <- ev:
 	case <-n.done:
@@ -386,11 +431,16 @@ func (n *Node) loop() {
 			case ev.reply2 != nil:
 				n.handleCompact(ev.compact)
 				close(ev.reply2)
-			case ev.propose != nil || ev.reply != nil:
+			case ev.batch != nil || ev.reply != nil:
 				n.handlePropose(ev)
 			}
 		case <-ticker.C:
 			n.handleTick()
+		}
+		if n.flusher != nil {
+			// Batch boundary: every send triggered by this event shares
+			// one transport flush (one syscall on buffered transports).
+			n.flusher.Flush()
 		}
 		n.publish()
 	}
@@ -426,20 +476,73 @@ func (n *Node) handlePropose(ev event) {
 		ev.reply <- ErrNotPrimary
 		return
 	}
-	idx := n.lastLogIndex() + 1
-	e := LogEntry{Index: idx, View: n.view, Payload: ev.propose}
-	n.log = append(n.log, e)
-	n.acks[idx] = map[int]bool{n.cfg.ID: true}
-	n.broadcast(Message{Type: MsgAccept, View: n.view, Index: idx,
-		Payload: ev.propose, CommitIdx: n.commitIdx})
+	n.pending = append(n.pending, ev.batch...)
 	ev.reply <- nil
+	n.maybeSendBatches()
+}
+
+// maybeSendBatches drains queued proposals into multi-entry Accept rounds
+// while the pipeline window has room. Called whenever proposals arrive or
+// the commit index advances (freeing a window slot).
+func (n *Node) maybeSendBatches() {
+	if n.status != StatusNormal || n.primary != n.cfg.ID {
+		return
+	}
+	for len(n.pending) > 0 && len(n.inflight) < n.cfg.MaxInflight {
+		n.sendBatch()
+	}
+}
+
+// sendBatch moves one batch from the pending queue into the log and
+// broadcasts it as a single Accept round.
+func (n *Node) sendBatch() {
+	count, bytes := 0, 0
+	for count < len(n.pending) && count < n.cfg.MaxBatch {
+		if count > 0 && bytes+len(n.pending[count]) > n.cfg.MaxBatchBytes {
+			break
+		}
+		bytes += len(n.pending[count])
+		count++
+	}
+	first := n.lastLogIndex() + 1
+	ents := make([]LogEntry, count)
+	for i := 0; i < count; i++ {
+		e := LogEntry{Index: first + uint64(i), View: n.view, Payload: n.pending[i]}
+		n.log = append(n.log, e)
+		n.acks[e.Index] = map[int]bool{n.cfg.ID: true}
+		ents[i] = e
+	}
+	n.pending = n.pending[count:]
+	if len(n.pending) == 0 {
+		n.pending = nil // release the drained backing array
+	}
+	n.inflight = append(n.inflight, first+uint64(count)-1)
+	if count == 1 {
+		// Single-entry wire form, identical to the pre-batching protocol.
+		n.broadcast(Message{Type: MsgAccept, View: n.view, Index: first,
+			Payload: ents[0].Payload, CommitIdx: n.commitIdx})
+	} else {
+		n.broadcast(Message{Type: MsgAccept, View: n.view, Index: first,
+			Entries: ents, CommitIdx: n.commitIdx})
+	}
 	// Single-replica degenerate case: self-ack is already a majority.
 	n.tryAdvanceCommit()
+}
+
+// resetBatcher discards proposal state that cannot survive a view
+// transition: in-flight rounds die with the view, and queued payloads are
+// dropped like any uncommitted proposal.
+func (n *Node) resetBatcher() {
+	n.pending = nil
+	n.inflight = nil
 }
 
 func (n *Node) handleTick() {
 	now := time.Now()
 	if n.status == StatusNormal && n.primary == n.cfg.ID {
+		// Safety net: refill the pipeline window in case a freeing commit
+		// arrived without triggering a send (e.g. after a view change).
+		n.maybeSendBatches()
 		// The heartbeat carries the log tail so backups that lost
 		// Accepts (e.g. to transport overflow under load) detect the
 		// gap and catch up even when no newer Accept arrives.
@@ -468,6 +571,7 @@ func (n *Node) startElection() {
 	n.electPhase = 1
 	n.candView = next
 	n.status = StatusViewChange
+	n.resetBatcher()
 	n.promises = map[int]*Message{}
 	n.primaryAcks = map[int]bool{}
 	n.electionStart = time.Now()
@@ -524,6 +628,10 @@ func (n *Node) onAccept(msg Message) {
 		return
 	}
 	n.lastHB = time.Now()
+	if len(msg.Entries) > 0 {
+		n.onAcceptBatch(msg)
+		return
+	}
 	switch {
 	case msg.Index == n.lastLogIndex()+1:
 		n.log = append(n.log, LogEntry{Index: msg.Index, View: msg.View, Payload: msg.Payload})
@@ -538,6 +646,31 @@ func (n *Node) onAccept(msg Message) {
 	n.applyCommit(msg.CommitIdx)
 }
 
+// onAcceptBatch handles a multi-entry Accept round: append the entries that
+// extend our log and answer with one cumulative AcceptOK covering the whole
+// round. Within a view the primary's appends are sequential, so an OK at
+// index i acknowledges every entry at or below i.
+func (n *Node) onAcceptBatch(msg Message) {
+	if msg.Entries[0].Index > n.lastLogIndex()+1 {
+		// Gap ahead of the batch: request catch-up.
+		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
+		return
+	}
+	for _, e := range msg.Entries {
+		if e.Index == n.lastLogIndex()+1 {
+			n.log = append(n.log, e)
+		}
+		// Entries at or below lastLogIndex are duplicates; the cumulative
+		// OK below re-acks them idempotently.
+	}
+	last := msg.Entries[len(msg.Entries)-1].Index
+	if lli := n.lastLogIndex(); last > lli {
+		last = lli
+	}
+	n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: last})
+	n.applyCommit(msg.CommitIdx)
+}
+
 func (n *Node) onAcceptOK(msg Message) {
 	if msg.View != n.view || n.primary != n.cfg.ID || n.status != StatusNormal {
 		return
@@ -545,58 +678,89 @@ func (n *Node) onAcceptOK(msg Message) {
 	if msg.Index <= n.commitIdx {
 		return
 	}
-	m := n.acks[msg.Index]
-	if m == nil {
-		m = map[int]bool{n.cfg.ID: true}
-		n.acks[msg.Index] = m
+	// Cumulative acknowledgment: within a view the backup's log is appended
+	// sequentially from the primary, so an OK at msg.Index covers every
+	// uncommitted index at or below it.
+	last := msg.Index
+	if lli := n.lastLogIndex(); last > lli {
+		last = lli
 	}
-	m[msg.From] = true
+	for i := n.commitIdx + 1; i <= last; i++ {
+		m := n.acks[i]
+		if m == nil {
+			m = map[int]bool{n.cfg.ID: true}
+			n.acks[i] = m
+		}
+		m[msg.From] = true
+	}
 	n.tryAdvanceCommit()
 }
 
 func (n *Node) tryAdvanceCommit() {
-	advanced := false
+	target := n.commitIdx
 	for {
-		next := n.commitIdx + 1
+		next := target + 1
 		if next > n.lastLogIndex() {
 			break
 		}
 		if len(n.acks[next]) < n.majority() {
 			break
 		}
-		n.commitEntry(next)
-		delete(n.acks, next)
-		advanced = true
+		target = next
 	}
-	if advanced {
-		n.broadcast(Message{Type: MsgCommit, View: n.view, CommitIdx: n.commitIdx})
-	}
-}
-
-// commitEntry persists and delivers index idx (which must be commitIdx+1).
-func (n *Node) commitEntry(idx uint64) {
-	e := n.entryAt(idx)
-	if e == nil {
+	if target == n.commitIdx {
 		return
 	}
+	for i := n.commitIdx + 1; i <= target; i++ {
+		delete(n.acks, i)
+	}
+	n.commitThrough(target)
+	n.broadcast(Message{Type: MsgCommit, View: n.view, CommitIdx: n.commitIdx})
+	// Retire acknowledged pipeline rounds and refill the window.
+	for len(n.inflight) > 0 && n.inflight[0] <= n.commitIdx {
+		n.inflight = n.inflight[1:]
+	}
+	if len(n.inflight) == 0 {
+		n.inflight = nil
+	}
+	n.maybeSendBatches()
+}
+
+// commitThrough persists and delivers entries (commitIdx, target] — the
+// group-commit point: the whole range is appended to the WAL as one batch
+// (one buffered write + one fsync), then delivered in index order.
+func (n *Node) commitThrough(target uint64) {
+	if lli := n.lastLogIndex(); target > lli {
+		target = lli
+	}
+	if target <= n.commitIdx {
+		return
+	}
+	first := n.commitIdx + 1
 	if n.cfg.Store != nil {
-		if err := n.cfg.Store.Append(wal.Record{Index: e.Index, View: e.View, Payload: e.Payload}); err != nil {
+		recs := make([]wal.Record, 0, target-n.commitIdx)
+		for i := first; i <= target; i++ {
+			e := n.entryAt(i)
+			recs = append(recs, wal.Record{Index: e.Index, View: e.View, Payload: e.Payload})
+		}
+		if err := n.cfg.Store.AppendBatch(recs); err != nil {
 			// A persistence failure is fatal for a real deployment; in
 			// this reproduction we surface it loudly.
 			panic(fmt.Sprintf("paxos: wal append: %v", err))
 		}
 	}
-	n.commitIdx = idx
-	if n.cfg.OnDeliver != nil && idx > n.cfg.DeliverFrom {
-		n.cfg.OnDeliver(*e)
+	for i := first; i <= target; i++ {
+		e := n.entryAt(i)
+		n.commitIdx = i
+		if n.cfg.OnDeliver != nil && i > n.cfg.DeliverFrom {
+			n.cfg.OnDeliver(*e)
+		}
 	}
 }
 
 // applyCommit advances the commit index toward target using local entries.
 func (n *Node) applyCommit(target uint64) {
-	for n.commitIdx < target && n.commitIdx < n.lastLogIndex() {
-		n.commitEntry(n.commitIdx + 1)
-	}
+	n.commitThrough(target)
 	if n.commitIdx < target {
 		// Missing committed entries: catch up from the primary.
 		n.send(n.primary, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
@@ -752,12 +916,26 @@ func (n *Node) maybeWinPhase2() {
 	n.installNewView(n.candView, n.cfg.ID, n.mergedCommit, n.mergedLog)
 	n.broadcast(Message{Type: MsgNewPrimary, View: n.view, Primary: n.cfg.ID,
 		CommitIdx: n.commitIdx, Entries: n.mergedLog})
-	// Re-propose any uncommitted suffix under the new view.
-	for i := n.commitIdx + 1; i <= n.lastLogIndex(); i++ {
-		e := n.entryAt(i)
-		n.acks[i] = map[int]bool{n.cfg.ID: true}
-		n.broadcast(Message{Type: MsgAccept, View: n.view, Index: e.Index,
-			Payload: e.Payload, CommitIdx: n.commitIdx})
+	// Re-propose any uncommitted suffix under the new view as batched
+	// Accept rounds (MaxBatch entries per round).
+	for first := n.commitIdx + 1; first <= n.lastLogIndex(); {
+		last := first + uint64(n.cfg.MaxBatch) - 1
+		if lli := n.lastLogIndex(); last > lli {
+			last = lli
+		}
+		ents := make([]LogEntry, 0, last-first+1)
+		for i := first; i <= last; i++ {
+			n.acks[i] = map[int]bool{n.cfg.ID: true}
+			ents = append(ents, *n.entryAt(i))
+		}
+		if len(ents) == 1 {
+			n.broadcast(Message{Type: MsgAccept, View: n.view, Index: first,
+				Payload: ents[0].Payload, CommitIdx: n.commitIdx})
+		} else {
+			n.broadcast(Message{Type: MsgAccept, View: n.view, Index: first,
+				Entries: ents, CommitIdx: n.commitIdx})
+		}
+		first = last + 1
 	}
 	n.mu.Lock()
 	n.lastElectionMs = float64(time.Since(n.electionStart).Microseconds()) / 1000.0
@@ -797,9 +975,8 @@ func (n *Node) installNewView(view uint64, primary int, commit uint64, suffix []
 		n.promised = view
 	}
 	n.electing = false
-	for n.commitIdx < commit && n.commitIdx < n.lastLogIndex() {
-		n.commitEntry(n.commitIdx + 1)
-	}
+	n.resetBatcher()
+	n.commitThrough(commit)
 	if n.commitIdx < commit {
 		n.send(primary, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
 	}
@@ -809,11 +986,9 @@ func (n *Node) installNewView(view uint64, primary int, commit uint64, suffix []
 	if n.cfg.OnViewChange != nil {
 		n.cfg.OnViewChange(view, primary)
 	}
-	// Ack any uncommitted entries we just installed.
-	if primary != n.cfg.ID {
-		for i := commit + 1; i <= n.lastLogIndex(); i++ {
-			n.send(primary, Message{Type: MsgAcceptOK, View: n.view, Index: i})
-		}
+	// Ack any uncommitted entries we just installed (one cumulative OK).
+	if primary != n.cfg.ID && n.lastLogIndex() > n.commitIdx {
+		n.send(primary, Message{Type: MsgAcceptOK, View: n.view, Index: n.lastLogIndex()})
 	}
 }
 
@@ -848,13 +1023,18 @@ func (n *Node) onEntries(msg Message) {
 		n.installNewView(msg.View, msg.Primary, 0, nil)
 	}
 	n.lastHB = time.Now()
+	appendedUncommitted := false
 	for _, e := range msg.Entries {
 		if e.Index == n.lastLogIndex()+1 {
 			n.log = append(n.log, e)
 			if e.Index > msg.CommitIdx {
-				n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: e.Index})
+				appendedUncommitted = true
 			}
 		}
+	}
+	if appendedUncommitted {
+		// One cumulative OK covers every uncommitted entry just appended.
+		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: n.lastLogIndex()})
 	}
 	if len(msg.Entries) == catchUpBatch && n.lastLogIndex() < msg.CommitIdx {
 		// More committed entries remain: keep pulling.

@@ -489,6 +489,150 @@ func TestElectionLatencySubSecond(t *testing.T) {
 	}
 }
 
+func TestConcurrentBatchedProposeOrderUnderJitterLoss(t *testing.T) {
+	// Concurrent Propose and ProposeBatch callers race into the batcher
+	// while the hub injects latency, jitter, and loss. Every replica must
+	// deliver the identical gapless sequence — batching changes how rounds
+	// are packaged, never the decided order.
+	hub := NewChanHub(50*time.Microsecond, 150*time.Microsecond, 0.02, 11)
+	tc := newTestCluster(t, 3, hub, false)
+	tc.primary(t)
+	const workers = 6
+	const perWorker = 40 // half propose singly, half in bursts of 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; {
+				var p *Node
+				for _, nd := range tc.nodes {
+					if nd.IsPrimary() {
+						p = nd
+						break
+					}
+				}
+				if p == nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				var err error
+				var k int
+				if w%2 == 0 {
+					k = 1
+					err = p.Propose([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				} else {
+					k = 4
+					if rem := perWorker - i; k > rem {
+						k = rem
+					}
+					batch := make([][]byte, k)
+					for j := range batch {
+						batch[j] = []byte(fmt.Sprintf("w%d-%d", w, i+j))
+					}
+					err = p.ProposeBatch(batch)
+				}
+				if err != nil {
+					time.Sleep(time.Millisecond)
+					continue // primary moved; retry
+				}
+				mu.Lock()
+				accepted += k
+				mu.Unlock()
+				i += k
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	want := accepted
+	mu.Unlock()
+	for i := 0; i < 3; i++ {
+		i := i
+		waitFor(t, fmt.Sprintf("node %d full delivery", i), func() bool {
+			return len(tc.deliveries(i)) >= want
+		})
+	}
+	// Identical order everywhere, gapless indices. (A view change during
+	// the run may re-commit: compare the common prefix entry by entry.)
+	ref := tc.deliveries(0)
+	for j, e := range ref {
+		if e.Index != uint64(j+1) {
+			t.Fatalf("node 0 entry %d has index %d", j, e.Index)
+		}
+	}
+	for i := 1; i < 3; i++ {
+		got := tc.deliveries(i)
+		m := len(ref)
+		if len(got) < m {
+			m = len(got)
+		}
+		for j := 0; j < m; j++ {
+			if got[j].Index != ref[j].Index || !bytes.Equal(got[j].Payload, ref[j].Payload) {
+				t.Fatalf("node %d diverges at %d: %d/%q vs %d/%q", i, j,
+					got[j].Index, got[j].Payload, ref[j].Index, ref[j].Payload)
+			}
+		}
+	}
+	// The batch path must also have produced some multi-entry rounds; a
+	// regression to one-round-per-entry would still pass the order checks,
+	// so sanity-check the proposals all landed exactly once per worker.
+	seen := make(map[string]int)
+	for _, e := range ref[:want] {
+		seen[string(e.Payload)]++
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			key := fmt.Sprintf("w%d-%d", w, i)
+			if seen[key] == 0 {
+				t.Fatalf("proposal %s never delivered", key)
+			}
+		}
+	}
+}
+
+func TestChanTransportStatsCountsDrops(t *testing.T) {
+	// Loss drops are counted at the sender, overflow drops at the receiver.
+	hub := NewChanHub(0, 0, 1.0, 3) // 100% loss
+	src, dst := hub.Endpoint(0), hub.Endpoint(1)
+	defer src.Close()
+	defer dst.Close()
+	dst.SetHandler(func(Message) {})
+	for i := 0; i < 10; i++ {
+		if err := src.Send(1, Message{Type: MsgHeartbeat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := src.Stats()
+	if st.Sent != 10 || st.LossDropped != 10 {
+		t.Fatalf("Stats after loss = %+v, want Sent=10 LossDropped=10", st)
+	}
+
+	// Overflow: a destination endpoint with a tiny inbox and no pump
+	// goroutine, so the third message overflows deterministically.
+	hub2 := NewChanHub(0, 0, 0, 3)
+	src2 := hub2.Endpoint(0)
+	defer src2.Close()
+	dst2 := &ChanTransport{hub: hub2, id: 1, inbox: make(chan Message, 2), stop: make(chan struct{})}
+	hub2.mu.Lock()
+	hub2.eps[1] = dst2
+	hub2.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		if err := src2.Send(1, Message{Type: MsgHeartbeat, Index: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := dst2.Stats()
+	if st2.InboxDropped != 3 {
+		t.Fatalf("InboxDropped = %d, want 3", st2.InboxDropped)
+	}
+	if got := src2.Stats(); got.Sent != 5 || got.LossDropped != 0 {
+		t.Fatalf("sender stats = %+v, want Sent=5 LossDropped=0", got)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	if MsgAccept.String() != "Accept" || MsgNewPrimary.String() != "NewPrimary" {
 		t.Fatal("MsgType.String broken")

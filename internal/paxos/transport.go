@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,14 @@ type Transport interface {
 	SetHandler(h func(msg Message))
 	// Close releases transport resources.
 	Close() error
+}
+
+// Flusher is an optional Transport capability: transports that buffer
+// writes (e.g. TCPTransport's bufio-wrapped peers) implement it, and the
+// node's event loop calls Flush once per handled event — the batch
+// boundary — so all sends triggered by one event share one syscall.
+type Flusher interface {
+	Flush()
 }
 
 // ErrTransportClosed is returned by Send after Close.
@@ -119,10 +128,34 @@ type ChanTransport struct {
 	inbox chan Message
 	stop  chan struct{}
 
+	// Drop accounting (atomic: Send races with the pump goroutine and with
+	// peers' Sends targeting this endpoint's inbox).
+	sent         atomic.Uint64 // messages this endpoint sent (pre-loss)
+	lossDropped  atomic.Uint64 // sends dropped by simulated loss/isolation
+	inboxDropped atomic.Uint64 // inbound messages dropped on inbox overflow
+
 	mu       sync.Mutex
 	handler  func(Message)
 	isolated bool
 	closed   bool
+}
+
+// TransportStats is a snapshot of a ChanTransport's message counters.
+// Overflow and loss drops are legal (the protocol retransmits) but were
+// previously invisible, making soak-test loss undiagnosable.
+type TransportStats struct {
+	Sent         uint64 // messages submitted to Send (before loss)
+	LossDropped  uint64 // outbound drops from simulated loss or isolation
+	InboxDropped uint64 // inbound drops from inbox overflow
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *ChanTransport) Stats() TransportStats {
+	return TransportStats{
+		Sent:         t.sent.Load(),
+		LossDropped:  t.lossDropped.Load(),
+		InboxDropped: t.inboxDropped.Load(),
+	}
 }
 
 func (t *ChanTransport) pump() {
@@ -151,8 +184,10 @@ func (t *ChanTransport) Send(to int, msg Message) error {
 	}
 	iso := t.isolated
 	t.mu.Unlock()
+	t.sent.Add(1)
 	if iso {
-		return nil // silently dropped, like a dead NIC
+		t.lossDropped.Add(1)
+		return nil // dropped, like a dead NIC
 	}
 	h := t.hub
 	h.mu.Lock()
@@ -168,6 +203,7 @@ func (t *ChanTransport) Send(to int, msg Message) error {
 	}
 	h.mu.Unlock()
 	if !ok || drop {
+		t.lossDropped.Add(1)
 		return nil
 	}
 	deliver := func() {
@@ -179,7 +215,10 @@ func (t *ChanTransport) Send(to int, msg Message) error {
 		}
 		select {
 		case dst.inbox <- msg:
-		default: // inbox overflow: drop, protocol retransmits
+		default:
+			// Inbox overflow: drop (the protocol retransmits), but count
+			// it so soak tests can tell overflow from simulated loss.
+			dst.inboxDropped.Add(1)
 		}
 	}
 	if delay > 0 {

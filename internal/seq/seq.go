@@ -13,8 +13,8 @@
 package seq
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -63,22 +63,107 @@ type Entry struct {
 	NClock uint64 // remaining logical clocks (Bubble only)
 }
 
+// Wire format: a fixed little-endian header followed by the payload. (The
+// Index field round-trips for completeness, but the authoritative value is
+// the consensus slot assigned on delivery.)
+//
+//	index(8) | kind(1) | conn(8) | port(8) | nclock(8) | len(data)(4) | data
+const entryHeaderSize = 8 + 1 + 8 + 8 + 8 + 4
+
+// ErrBadEntry is returned by Decode for a malformed payload.
+var ErrBadEntry = errors.New("seq: malformed entry payload")
+
+// wireSize returns the encoded length of e.
+func (e *Entry) wireSize() int { return entryHeaderSize + len(e.Data) }
+
+// marshal writes e into b, which must be exactly wireSize() long.
+func (e *Entry) marshal(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:8], e.Index)
+	b[8] = byte(e.Kind)
+	binary.LittleEndian.PutUint64(b[9:17], e.Conn)
+	binary.LittleEndian.PutUint64(b[17:25], uint64(int64(e.Port)))
+	binary.LittleEndian.PutUint64(b[25:33], e.NClock)
+	binary.LittleEndian.PutUint32(b[33:37], uint32(len(e.Data)))
+	copy(b[entryHeaderSize:], e.Data)
+}
+
+// unmarshal parses b into e. The Data slice aliases b (consumers only ever
+// reslice it), so callers must not mutate the payload afterwards.
+func (e *Entry) unmarshal(b []byte) error {
+	if len(b) < entryHeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadEntry, len(b))
+	}
+	kind := Kind(b[8])
+	if kind < KindConnect || kind > KindBubble {
+		return fmt.Errorf("%w: kind %d", ErrBadEntry, b[8])
+	}
+	dlen := binary.LittleEndian.Uint32(b[33:37])
+	if int(dlen) != len(b)-entryHeaderSize {
+		return fmt.Errorf("%w: length %d vs %d payload bytes", ErrBadEntry,
+			dlen, len(b)-entryHeaderSize)
+	}
+	e.Index = binary.LittleEndian.Uint64(b[0:8])
+	e.Kind = kind
+	e.Conn = binary.LittleEndian.Uint64(b[9:17])
+	e.Port = int(int64(binary.LittleEndian.Uint64(b[17:25])))
+	e.NClock = binary.LittleEndian.Uint64(b[25:33])
+	if dlen > 0 {
+		e.Data = b[entryHeaderSize:]
+	} else {
+		e.Data = nil
+	}
+	return nil
+}
+
 // Encode serializes an entry for the consensus log.
 func (e *Entry) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
-		return nil, fmt.Errorf("seq: encode: %w", err)
-	}
-	return buf.Bytes(), nil
+	b := make([]byte, e.wireSize())
+	e.marshal(b)
+	return b, nil
 }
 
 // Decode deserializes an entry from the consensus log.
 func Decode(b []byte) (*Entry, error) {
-	var e Entry
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
-		return nil, fmt.Errorf("seq: decode: %w", err)
+	e := new(Entry)
+	if err := e.unmarshal(b); err != nil {
+		return nil, err
 	}
-	return &e, nil
+	return e, nil
+}
+
+// EncodeBatch serializes a burst of entries into per-entry consensus
+// payloads sharing one backing allocation — the marshaling primitive for
+// ProposeBatch (no per-entry encoder or buffer churn).
+func EncodeBatch(entries []*Entry) ([][]byte, error) {
+	total := 0
+	for _, e := range entries {
+		total += e.wireSize()
+	}
+	backing := make([]byte, total)
+	out := make([][]byte, len(entries))
+	off := 0
+	for i, e := range entries {
+		n := e.wireSize()
+		b := backing[off : off+n : off+n]
+		e.marshal(b)
+		out[i] = b
+		off += n
+	}
+	return out, nil
+}
+
+// DecodeBatch deserializes a burst of consensus payloads with one Entry
+// allocation for the whole batch.
+func DecodeBatch(payloads [][]byte) ([]*Entry, error) {
+	ents := make([]Entry, len(payloads))
+	out := make([]*Entry, len(payloads))
+	for i, p := range payloads {
+		if err := ents[i].unmarshal(p); err != nil {
+			return nil, err
+		}
+		out[i] = &ents[i]
+	}
+	return out, nil
 }
 
 // Sequence is the ordered, shared queue of decided entries.

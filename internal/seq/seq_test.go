@@ -256,3 +256,81 @@ func TestQuickReassembly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodeDecodeBatch(t *testing.T) {
+	burst := []*Entry{
+		{Index: 1, Kind: KindConnect, Conn: 5, Port: 8080},
+		{Index: 2, Kind: KindSend, Conn: 5, Data: []byte("hello")},
+		{Index: 3, Kind: KindBubble, NClock: 1000},
+		{Index: 4, Kind: KindSend, Conn: 5, Data: nil},
+		{Index: 5, Kind: KindClose, Conn: 5},
+	}
+	payloads, err := EncodeBatch(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != len(burst) {
+		t.Fatalf("%d payloads", len(payloads))
+	}
+	// Each payload must also decode individually (batch framing is not a
+	// separate wire format — every payload is one consensus value).
+	for i, p := range payloads {
+		e, err := Decode(p)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", i, err)
+		}
+		if e.Kind != burst[i].Kind || e.Conn != burst[i].Conn ||
+			e.Port != burst[i].Port || e.NClock != burst[i].NClock ||
+			!bytes.Equal(e.Data, burst[i].Data) {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, burst[i])
+		}
+	}
+	got, err := DecodeBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range burst {
+		if got[i].Kind != burst[i].Kind || got[i].Index != burst[i].Index {
+			t.Fatalf("batch entry %d = %+v", i, got[i])
+		}
+	}
+	// The bubble survives in its in-burst position.
+	if got[2].Kind != KindBubble || got[2].NClock != 1000 {
+		t.Fatalf("bubble lost: %+v", got[2])
+	}
+}
+
+func TestDecodeBatchRejectsCorrupt(t *testing.T) {
+	p1, _ := (&Entry{Kind: KindSend, Conn: 1, Data: []byte("ok")}).Encode()
+	if _, err := DecodeBatch([][]byte{p1, []byte("torn")}); err == nil {
+		t.Fatal("corrupt batch accepted")
+	}
+	// Truncated data length mismatch is caught.
+	p2, _ := (&Entry{Kind: KindSend, Conn: 1, Data: []byte("0123456789")}).Encode()
+	if _, err := Decode(p2[:len(p2)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestEncodeQuickRoundTrip(t *testing.T) {
+	f := func(conn uint64, port int32, nclock uint64, data []byte, kindSel uint8) bool {
+		e := &Entry{
+			Kind: Kind(kindSel%4) + KindConnect, Conn: conn,
+			Port: int(port), NClock: nclock, Data: data,
+		}
+		b, err := e.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		sameData := bytes.Equal(got.Data, e.Data)
+		return got.Kind == e.Kind && got.Conn == e.Conn &&
+			got.Port == e.Port && got.NClock == e.NClock && sameData
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,3 +87,27 @@ func BenchmarkRecoveryScan(b *testing.B) {
 		l2.Close()
 	}
 }
+
+// BenchmarkAppendBatchSync measures durable group-commit appends: batches
+// of 64 records share one buffered write and one fsync. Compare against
+// BenchmarkAppendSync for the per-record amortization.
+func BenchmarkAppendBatchSync(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const batch = 64
+	payload := make([]byte, 128)
+	recs := make([]Record, batch)
+	b.SetBytes(int64(batch * (len(payload) + recordHeaderSize)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j] = Record{Index: uint64(i*batch + j), Payload: payload}
+		}
+		if err := l.AppendBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

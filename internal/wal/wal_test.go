@@ -523,3 +523,93 @@ func TestCompactBeforeKeepsActiveSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendBatchRoundTrip(t *testing.T) {
+	l, dir := openTest(t)
+	var recs []Record
+	for i := uint64(0); i < 40; i++ {
+		recs = append(recs, Record{Index: i, View: i / 7,
+			Payload: bytes.Repeat([]byte{byte(i)}, int(i%33))})
+	}
+	if err := l.AppendBatch(recs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if l.Len() != 40 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for _, want := range recs {
+		got, err := l.Get(want.Index)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", want.Index, err)
+		}
+		if got.View != want.View || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("Get(%d) = %+v, want %+v", want.Index, got, want)
+		}
+	}
+	// Batches interleave with single appends and survive reopen.
+	if err := l.Append(Record{Index: 40, Payload: []byte("single")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch([]Record{{Index: 41}, {Index: 42, Payload: []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{NoSync: true, SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 43 {
+		t.Fatalf("reopened Len = %d", l2.Len())
+	}
+	if rec, err := l2.Get(42); err != nil || string(rec.Payload) != "y" {
+		t.Fatalf("Get(42) after reopen = %+v, %v", rec, err)
+	}
+}
+
+func TestAppendBatchSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var recs []Record
+	for i := uint64(0); i < 64; i++ {
+		recs = append(recs, Record{Index: i, Payload: bytes.Repeat([]byte("s"), 40)})
+	}
+	if err := l.AppendBatch(recs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 2 {
+		t.Fatalf("batch did not roll segments: %d files", len(segs))
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, err := l.Get(i); err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	l, _ := openTest(t)
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// Non-contiguous interior indexes are rejected before any write.
+	err := l.AppendBatch([]Record{{Index: 1}, {Index: 3}})
+	if err == nil {
+		t.Fatal("gap inside batch accepted")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("failed batch wrote %d records", l.Len())
+	}
+	if err := l.AppendBatch([]Record{{Index: 7}, {Index: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	// A batch that does not follow the tail is rejected.
+	if err := l.AppendBatch([]Record{{Index: 10}}); err == nil {
+		t.Fatal("out-of-order batch accepted")
+	}
+}
