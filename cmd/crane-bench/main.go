@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +20,9 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at full scale (slower, closer to the paper's 1K-request runs)")
-	only := flag.String("only", "", "comma-separated subset: fig14,table1,fig15,fig16,fig17,table2,consistency,election,ablation")
+	only := flag.String("only", "", "comma-separated subset: fig14,table1,fig15,fig16,fig17,table2,consistency,election,ablation,observability")
 	runs := flag.Int("consistency-runs", 10, "runs per consistency plan (paper: 100)")
+	obsOut := flag.String("obs-out", "BENCH_observability.json", "where the observability cell writes its report")
 	flag.Parse()
 
 	scale := bench.SmallScale
@@ -97,6 +99,21 @@ func main() {
 		if _, err := bench.AblationRex(scale, out); err != nil {
 			fail(err)
 		}
+	}
+	if sel("observability") {
+		fmt.Fprintln(out, "== Observability: per-stage request lifecycle and instrumentation overhead ==")
+		rep, err := bench.Observability(scale, out)
+		if err != nil {
+			fail(err)
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*obsOut, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *obsOut)
 	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Second))
 }

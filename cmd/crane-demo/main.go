@@ -5,6 +5,12 @@
 //
 //	crane-demo -app apache -mode crane
 //	crane-demo -app mysql -mode paxos-only -requests 50
+//	crane-demo -app apache -metrics 127.0.0.1:9100 -hold 5m
+//
+// With -metrics, each replica serves /metrics (Prometheus text),
+// /healthz, /trace (lifecycle spans as JSONL), and /debug/pprof on the
+// base port plus its replica id; -hold keeps the cluster alive after the
+// workload so the endpoints can be scraped at leisure.
 package main
 
 import (
@@ -23,6 +29,8 @@ func main() {
 	mode := flag.String("mode", "crane", "mode: nondet, parrot-only, paxos-only, crane-nobubble, crane")
 	requests := flag.Int("requests", 16, "total workload requests")
 	conc := flag.Int("concurrency", 4, "concurrent clients (keep <= server workers)")
+	metricsAddr := flag.String("metrics", "", "scrape endpoint base address (replica i serves on port+i; empty disables)")
+	hold := flag.Duration("hold", 0, "keep the cluster alive this long after the workload (for curling /metrics)")
 	flag.Parse()
 
 	var spec *bench.AppSpec
@@ -54,23 +62,48 @@ func main() {
 		os.Exit(2)
 	}
 	scale := bench.Scale{Requests: *requests, Concurrency: *conc, PrepareRows: 30}
+	cfg := bench.ClusterConfig(m)
+	if *metricsAddr != "" {
+		cfg.MetricsAddr = *metricsAddr
+		cfg.TraceCapacity = 1 << 16
+	}
 	fmt.Printf("deploying %s under %s (3 replicas unless un-replicated)...\n", spec.Name, m)
-	start := time.Now()
-	cell, metrics, err := bench.RunCellWithMetrics(*spec, bench.ClusterConfig(m), false, scale)
+	cluster, err := crane.StartCluster(cfg, spec.Program(false))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload: %d requests, %d errors in %v\n",
-		cell.Summary.Requests, cell.Summary.Errors, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("latency: median=%v p90=%v mean=%v throughput=%.1f req/s\n",
-		cell.Summary.Median.Round(time.Microsecond), cell.Summary.P90.Round(time.Microsecond),
-		cell.Summary.Mean.Round(time.Microsecond), cell.Summary.Throughput())
-	if cell.ClientCalls > 0 {
-		fmt.Printf("consensus: %d client socket calls, %d time bubbles (ratio %.2f%%)\n",
-			cell.ClientCalls, cell.Bubbles, 100*cell.BubbleRatio)
+	defer cluster.Stop()
+	if *metricsAddr != "" {
+		for i := 0; i < cluster.Replicas(); i++ {
+			if addr := cluster.Replica(i).ObsAddr(); addr != "" {
+				fmt.Printf("replica %d observability: http://%s/metrics (also /healthz /trace /debug/pprof)\n", i, addr)
+			}
+		}
 	}
-	for _, line := range metrics {
-		fmt.Println(" ", line)
+	start := time.Now()
+	if spec.Prepare != nil {
+		if err := spec.Prepare(cluster.Dial, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	sum := spec.Workload(cluster.Dial, scale)
+	fmt.Printf("workload: %d requests, %d errors in %v\n",
+		sum.Requests, sum.Errors, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("latency: median=%v p90=%v mean=%v throughput=%.1f req/s\n",
+		sum.Median.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
+		sum.Mean.Round(time.Microsecond), sum.Throughput())
+	st := cluster.SeqStats()
+	if st.ClientCalls > 0 {
+		fmt.Printf("consensus: %d client socket calls, %d time bubbles (ratio %.2f%%)\n",
+			st.ClientCalls, st.Bubbles, 100*st.BubbleRatio())
+	}
+	for _, line := range cluster.ClusterMetrics() {
+		fmt.Println(" ", line.String())
+	}
+	if *hold > 0 {
+		fmt.Printf("holding the cluster for %v (ctrl-c to stop early)...\n", *hold)
+		time.Sleep(*hold)
 	}
 }

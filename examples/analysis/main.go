@@ -7,6 +7,13 @@
 // orders on different request types; the lock-order checker attached to a
 // backup flags the potential deadlock while clients are served normally.
 //
+// The same transparency extends to request lifecycles: with a trace
+// capacity configured, every admitted socket call carries a request id
+// from proxy admission through consensus, DMT turn, and output, and the
+// retained spans dump as JSONL for offline analysis (each line carries
+// both a wall-clock and a logical DMT-clock timestamp, so physical
+// stalls and logical scheduling stalls separate cleanly).
+//
 //	go run ./examples/analysis
 package main
 
@@ -14,6 +21,8 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -118,6 +127,7 @@ func main() {
 		Mode:          crane.ModeCrane,
 		Replicas:      3,
 		AnalyzeBackup: true,
+		TraceCapacity: 1 << 14,
 		NetOptions:    simnet.Options{Latency: 40 * time.Microsecond},
 	}, prog)
 	if err != nil {
@@ -150,4 +160,32 @@ func main() {
 		fmt.Println("  -", iv)
 	}
 	fmt.Println("(the primary served all requests; the analysis ran for free on a backup)")
+
+	dumpLifecycle(cluster)
+}
+
+// dumpLifecycle writes the primary's retained lifecycle spans as JSONL
+// and prints the per-stage latency table they aggregate into.
+func dumpLifecycle(cluster *crane.Cluster) {
+	primary, err := cluster.Primary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := primary.Tracer()
+	out := filepath.Join(os.TempDir(), "crane-trace.jsonl")
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d lifecycle spans dumped to %s\n", tr.Len(), out)
+	fmt.Println("per-stage breakdown (wall-clock and logical DMT-clock deltas):")
+	for _, row := range tr.Breakdown() {
+		fmt.Println("  ", row)
+	}
 }

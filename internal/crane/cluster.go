@@ -62,6 +62,20 @@ type Config struct {
 	// to the last replica's DMT scheduler. Only meaningful in DMT modes.
 	// Retrieve results with Cluster.Analysis.
 	AnalyzeBackup bool
+
+	// MetricsAddr enables each replica's HTTP scrape endpoint (/metrics,
+	// /healthz, /trace, /debug/pprof) when non-empty. Replica i binds the
+	// configured port plus i ("host:0" lets every replica pick a free
+	// port; read it back with Replica.ObsAddr).
+	MetricsAddr string
+	// TraceCapacity bounds each replica's in-memory lifecycle-trace ring
+	// (admit/proposed/committed/consumed/output span events). Zero
+	// disables tracing.
+	TraceCapacity int
+	// WALSync enables fsync on consensus-decision appends (the paper's
+	// deployment syncs to SSD). Off by default: simulation clusters favor
+	// speed, and the fsync instruments only move when this is on.
+	WALSync bool
 }
 
 func (c *Config) setDefaults() {

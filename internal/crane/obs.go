@@ -1,0 +1,221 @@
+package crane
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crane/internal/obs"
+	"crane/internal/paxos"
+	"crane/internal/seq"
+)
+
+// replicaObs is one replica's observability state: the instrument registry
+// every layer (proxy, paxos, wal, seq, dmt) registers into, the lifecycle
+// tracer, and the request-id machinery that threads one id from proxy
+// admission through consensus, WAL persist, DMT turn, execution, and output.
+type replicaObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	srv    *obs.Server
+
+	reqSeq atomic.Uint64 // per-replica admission counter
+
+	mu         sync.Mutex
+	admitTimes map[uint64]time.Time // req -> admission time (admitting primary only)
+	connReq    map[uint64]uint64    // conn -> last consumed req (output attribution)
+
+	proxyAccepts  *obs.Counter   // socket calls admitted by the proxy
+	proxyRejects  *obs.Counter   // admissions refused (not primary / shutdown)
+	burstSize     *obs.Histogram // value: entries per proxy ProposeBatch burst
+	admitToCommit *obs.Histogram // admission -> consensus commit (primary)
+	admitToExec   *obs.Histogram // admission -> DMT consumption (primary)
+}
+
+// newReplicaObs builds the registry and instruments for one replica. The
+// tracer is nil unless cfg.TraceCapacity > 0 (tracing is opt-in; a nil
+// tracer discards events).
+func newReplicaObs(r *Replica) *replicaObs {
+	reg := obs.NewRegistry()
+	ro := &replicaObs{
+		reg:        reg,
+		tracer:     obs.NewTracer(r.cfg.TraceCapacity),
+		admitTimes: make(map[uint64]time.Time),
+		connReq:    make(map[uint64]uint64),
+		proxyAccepts: reg.Counter("proxy_admitted_total",
+			"socket calls admitted by the proxy for consensus"),
+		proxyRejects: reg.Counter("proxy_rejected_total",
+			"socket-call admissions refused (not primary or shutting down)"),
+		burstSize: reg.ValueHistogram("proxy_burst_entries",
+			"socket calls coalesced per consensus submission burst"),
+		admitToCommit: reg.Histogram("proxy_admit_to_commit_seconds",
+			"proxy admission to consensus commit"),
+		admitToExec: reg.Histogram("proxy_admit_to_exec_seconds",
+			"proxy admission to DMT-turn consumption by the server"),
+	}
+	reg.GaugeFunc("crane_open_conns", "alive server-side connections", func() float64 {
+		return float64(r.openConns.Load())
+	})
+	return ro
+}
+
+// assignReq allocates a request id unique across replicas: the replica id in
+// the high bits (like connection ids) and an admission counter below.
+func (ro *replicaObs) assignReq(replicaID int) uint64 {
+	return uint64(replicaID+1)<<48 | ro.reqSeq.Add(1)
+}
+
+// recordAdmit stamps a client socket call at proxy admission. Only the
+// admitting replica (the primary) holds the admit time; bubbles never pass
+// through here, so the map cannot leak entries that nothing consumes.
+func (ro *replicaObs) recordAdmit(req, conn uint64) {
+	now := time.Now()
+	ro.mu.Lock()
+	ro.admitTimes[req] = now
+	ro.mu.Unlock()
+	ro.proxyAccepts.Inc()
+	ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Stage: obs.StageAdmit, Wall: now.UnixNano()})
+}
+
+// recordProposed marks a burst entry accepted for consensus ordering.
+func (ro *replicaObs) recordProposed(e *seq.Entry) {
+	if e.Req == 0 {
+		return
+	}
+	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Stage: obs.StageProposed})
+}
+
+// recordCommitted marks an entry's consensus commit. Every replica records
+// the stage; the admit-to-commit latency is observable only where the
+// admission happened (the map lookup misses elsewhere). The admit time stays
+// mapped until consumption so admit-to-exec can still be measured.
+func (ro *replicaObs) recordCommitted(e *seq.Entry) {
+	if e.Req == 0 {
+		return
+	}
+	ro.mu.Lock()
+	t0, ok := ro.admitTimes[e.Req]
+	ro.mu.Unlock()
+	if ok {
+		ro.admitToCommit.Since(t0)
+	}
+	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index, Stage: obs.StageCommit})
+}
+
+// recordConsumed marks an entry fully consumed by the server at its DMT
+// turn. Runs inside the sequence's consumption hook (under sq.mu): it only
+// touches ro.mu, the instruments, and the tracer — never the sequence or
+// the scheduler lock (logical comes from the scheduler's atomic mirror).
+func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64) {
+	if e.Req == 0 {
+		return
+	}
+	ro.mu.Lock()
+	t0, ok := ro.admitTimes[e.Req]
+	if ok {
+		delete(ro.admitTimes, e.Req)
+	}
+	if e.Conn != 0 {
+		ro.connReq[e.Conn] = e.Req
+	}
+	ro.mu.Unlock()
+	if ok {
+		ro.admitToExec.Since(t0)
+	}
+	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index,
+		Stage: obs.StageConsumed, Logical: logical})
+}
+
+// recordOutput marks a server response on conn. Outputs carry no request id
+// of their own; they are attributed to the last request consumed on the
+// connection (the request/response flow of the example servers).
+func (ro *replicaObs) recordOutput(conn uint64, logical uint64) {
+	ro.mu.Lock()
+	req := ro.connReq[conn]
+	ro.mu.Unlock()
+	ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Stage: obs.StageOutput, Logical: logical})
+}
+
+// rejectAdmit counts a refused admission and forgets its admit time (the
+// request will never commit or be consumed, so the entry would leak).
+func (ro *replicaObs) rejectAdmit(req uint64) {
+	ro.mu.Lock()
+	delete(ro.admitTimes, req)
+	ro.mu.Unlock()
+	ro.proxyRejects.Inc()
+}
+
+// dropConnReq forgets a closed connection's output attribution.
+func (ro *replicaObs) dropConnReq(conn uint64) {
+	ro.mu.Lock()
+	delete(ro.connReq, conn)
+	ro.mu.Unlock()
+}
+
+// registerTransportStats exposes a consensus transport's counters (both
+// ChanTransport and TCPTransport provide Stats) through the registry.
+func registerTransportStats(reg *obs.Registry, stats func() paxos.TransportStats) {
+	reg.GaugeFunc("transport_msgs_sent_total", "consensus messages sent", func() float64 {
+		return float64(stats().Sent)
+	})
+	reg.GaugeFunc("transport_msgs_received_total", "consensus messages delivered", func() float64 {
+		return float64(stats().MsgsReceived)
+	})
+	reg.GaugeFunc("transport_bytes_sent_total", "consensus wire bytes written", func() float64 {
+		return float64(stats().BytesSent)
+	})
+	reg.GaugeFunc("transport_bytes_received_total", "consensus wire bytes read", func() float64 {
+		return float64(stats().BytesRecv)
+	})
+	reg.GaugeFunc("transport_flushes_total", "batch-boundary buffer flushes", func() float64 {
+		return float64(stats().Flushes)
+	})
+	reg.GaugeFunc("transport_reconnects_total", "peer dials (initial and after failure)", func() float64 {
+		return float64(stats().Reconnects)
+	})
+	reg.GaugeFunc("transport_drops_total", "outbound loss plus inbox overflow drops", func() float64 {
+		s := stats()
+		return float64(s.LossDropped + s.InboxDropped)
+	})
+}
+
+// serve starts the replica's scrape endpoint when addr is non-empty.
+func (ro *replicaObs) serve(addr string, health func() obs.Health) error {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.StartServer(addr, ro.reg, health, ro.tracer)
+	if err != nil {
+		return err
+	}
+	ro.srv = srv
+	return nil
+}
+
+func (ro *replicaObs) close() {
+	if ro.srv != nil {
+		ro.srv.Close()
+	}
+}
+
+// metricsAddrFor derives replica id's scrape address from the configured
+// base address: the port is offset by id so a cluster on one machine gets
+// one endpoint per replica (":0" stays ":0" — every replica picks a free
+// port).
+func metricsAddrFor(base string, id int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("crane: metrics addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("crane: metrics addr %q: %w", base, err)
+	}
+	if port != 0 {
+		port += id
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}

@@ -50,6 +50,10 @@ func newProxy(r *Replica) *proxy {
 // start binds the program's ports on this replica's host and begins
 // accepting.
 func (p *proxy) start() error {
+	p.r.ro.reg.GaugeFunc("proxy_queue_depth",
+		"socket calls queued for consensus submission", func() float64 {
+			return float64(len(p.subCh))
+		})
 	p.wg.Add(1)
 	go p.submitLoop()
 	for _, port := range p.r.prog.Ports {
@@ -122,16 +126,30 @@ func (p *proxy) readLoop(c *simnet.Conn, id uint64) {
 // their entry is accepted for ordering, so the per-producer flow stays
 // synchronous while concurrent connections share one ProposeBatch.
 func (p *proxy) propose(e *seq.Entry) bool {
+	// Admission is where a request id is born: it rides the entry across
+	// the wire so every replica's lifecycle trace keys the same stages by
+	// the same id. Bubbles get an id (their commit is traceable) but no
+	// admit record — nothing ever "consumes" a bubble via the client-call
+	// hook, so an admit-time entry for one would leak.
+	e.Req = p.r.ro.assignReq(p.r.id)
+	if e.Kind != seq.KindBubble {
+		p.r.ro.recordAdmit(e.Req, e.Conn)
+	}
 	req := submitReq{e: e, done: make(chan bool, 1)}
 	select {
 	case p.subCh <- req:
 	case <-p.stopCh:
+		p.r.ro.rejectAdmit(e.Req)
 		return false
 	}
 	select {
 	case ok := <-req.done:
+		if !ok {
+			p.r.ro.rejectAdmit(e.Req)
+		}
 		return ok
 	case <-p.stopCh:
+		p.r.ro.rejectAdmit(e.Req)
 		return false
 	}
 }
@@ -167,6 +185,12 @@ func (p *proxy) submitLoop() {
 		}
 		payloads, err := seq.EncodeBatch(ents)
 		ok := err == nil && p.r.node.ProposeBatch(payloads) == nil
+		if ok {
+			p.r.ro.burstSize.ObserveValue(uint64(len(ents)))
+			for _, e := range ents {
+				p.r.ro.recordProposed(e)
+			}
+		}
 		for _, r := range reqs {
 			r.done <- ok
 		}

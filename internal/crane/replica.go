@@ -11,6 +11,7 @@ import (
 
 	"crane/internal/cfs"
 	"crane/internal/checkpoint"
+	"crane/internal/obs"
 	"crane/internal/papi"
 	"crane/internal/paxos"
 	"crane/internal/seq"
@@ -106,11 +107,14 @@ type Replica struct {
 	checker      *analysis.LockOrderChecker
 	// transport overrides the hub endpoint (TCP consensus deployments).
 	transport paxos.Transport
+	// ro is the replica's observability state: instrument registry,
+	// lifecycle tracer, and (opt-in) HTTP scrape endpoint.
+	ro *replicaObs
 }
 
 // newReplica wires a replica; start() launches it.
 func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Replica {
-	return &Replica{
+	r := &Replica{
 		id:          id,
 		host:        fmt.Sprintf("replica%d", id),
 		cfg:         cfg,
@@ -121,6 +125,8 @@ func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Re
 		out:         trace.NewOutputLog(fmt.Sprintf("replica%d", id)),
 		closedConns: make(map[uint64]bool),
 	}
+	r.ro = newReplicaObs(r)
+	return r
 }
 
 // start builds the filesystem, program instance, consensus node, proxy and
@@ -140,11 +146,17 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		}
 	}
 
+	r.sq.SetObs(r.ro.reg)
+	r.sq.SetConsumedHook(func(e *seq.Entry) {
+		r.ro.recordConsumed(e, r.logicalClock())
+	})
+
 	if r.mode.replicated() {
 		var store *wal.Log
 		if r.cfg.WALDir != "" {
 			var err error
-			store, err = wal.Open(filepath.Join(r.cfg.WALDir, r.host), wal.Options{NoSync: true})
+			store, err = wal.Open(filepath.Join(r.cfg.WALDir, r.host),
+				wal.Options{NoSync: !r.cfg.WALSync, Obs: r.ro.reg})
 			if err != nil {
 				return err
 			}
@@ -161,6 +173,9 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		if transport == nil {
 			transport = hub.Endpoint(r.id)
 		}
+		if ts, ok := transport.(interface{ Stats() paxos.TransportStats }); ok {
+			registerTransportStats(r.ro.reg, ts.Stats)
+		}
 		node, err := paxos.NewNode(paxos.Config{
 			ID:                r.id,
 			Peers:             peers,
@@ -171,6 +186,7 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 			DeliverFrom:       r.deliverFrom,
 			OnDeliver:         r.onDeliver,
 			InitialPrimary:    initialPrimary,
+			Obs:               r.ro.reg,
 		})
 		if err != nil {
 			return err
@@ -192,6 +208,9 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		r.pproc.SetSocketLayer(&dmtSockets{r: r})
 		r.pproc.Sched.SetGate(newGate(r, r.mode == ModeCrane))
 	}
+	if r.pproc != nil {
+		r.pproc.Sched.SetObs(r.ro.reg)
+	}
 	// REPFRAME-style analysis (§6.2): attach the lock-order checker to
 	// the designated backup's scheduler.
 	if r.cfg.AnalyzeBackup && r.pproc != nil && r.id == r.cfg.Replicas-1 && r.cfg.Replicas > 1 {
@@ -211,7 +230,48 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	} else {
 		r.nproc.Start(r.inst)
 	}
+	if r.cfg.MetricsAddr != "" {
+		addr, err := metricsAddrFor(r.cfg.MetricsAddr, r.id)
+		if err != nil {
+			return err
+		}
+		if err := r.ro.serve(addr, r.health); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// logicalClock reads the DMT scheduler's logical clock (0 in non-DMT
+// modes). Lock-free, so it is safe from callbacks holding other locks.
+func (r *Replica) logicalClock() uint64 {
+	if r.pproc != nil {
+		return r.pproc.Sched.ClockFast()
+	}
+	return 0
+}
+
+// health snapshots the /healthz payload.
+func (r *Replica) health() obs.Health {
+	h := obs.Health{
+		Replica:    r.id,
+		Mode:       r.mode.String(),
+		OpenConns:  r.openConns.Load(),
+		SeqPending: r.sq.Len(),
+	}
+	if r.node != nil {
+		h.Primary = r.node.IsPrimary()
+		h.View, h.ViewPrimary = r.node.View()
+		h.CommitIndex = r.node.CommitIndex()
+	}
+	if r.store != nil {
+		tail, _ := r.store.Tail()
+		h.WALTail = tail
+		if h.CommitIndex > tail {
+			h.WALLag = h.CommitIndex - tail
+		}
+	}
+	return h
 }
 
 // onDeliver receives committed consensus decisions in order and appends
@@ -222,6 +282,7 @@ func (r *Replica) onDeliver(e paxos.LogEntry) {
 		return
 	}
 	ent.Index = e.Index
+	r.ro.recordCommitted(ent)
 	r.sq.Enqueue(ent)
 	if ent.Kind == seq.KindBubble {
 		r.bubblePending.Store(false)
@@ -267,6 +328,7 @@ func (r *Replica) maybeRequestBubble() {
 // to the client; backups log and drop (§2.1).
 func (r *Replica) emitOutput(conn uint64, data []byte) {
 	r.out.Record(conn, data)
+	r.ro.recordOutput(conn, r.logicalClock())
 	if r.px != nil && r.node.IsPrimary() {
 		r.px.forward(conn, data)
 	}
@@ -282,6 +344,7 @@ func (r *Replica) markConnClosed(conn uint64) {
 	r.closedMu.Lock()
 	r.closedConns[conn] = true
 	r.closedMu.Unlock()
+	r.ro.dropConnReq(conn)
 }
 
 func (r *Replica) connClosed(conn uint64) bool {
@@ -321,6 +384,7 @@ func (r *Replica) stop() {
 	if r.store != nil {
 		r.store.Close()
 	}
+	r.ro.close()
 }
 
 // --- checkpoint.Process implementation (§5.2) ---
@@ -385,5 +449,21 @@ func (r *Replica) BaseSnapshot() *cfs.Snapshot { return r.baseSnap }
 
 // OpenConns returns the number of alive server-side connections.
 func (r *Replica) OpenConns() int64 { return r.openConns.Load() }
+
+// Obs returns the replica's instrument registry.
+func (r *Replica) Obs() *obs.Registry { return r.ro.reg }
+
+// Tracer returns the replica's lifecycle tracer (nil unless
+// Config.TraceCapacity > 0).
+func (r *Replica) Tracer() *obs.Tracer { return r.ro.tracer }
+
+// ObsAddr returns the bound scrape-endpoint address ("" when
+// Config.MetricsAddr was empty).
+func (r *Replica) ObsAddr() string {
+	if r.ro.srv == nil {
+		return ""
+	}
+	return r.ro.srv.Addr()
+}
 
 var _ checkpoint.Process = (*Replica)(nil)

@@ -28,7 +28,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"crane/internal/obs"
 )
 
 // Gate is CRANE's hook into the scheduler (the check_add_timebubble
@@ -67,6 +70,16 @@ type Scheduler struct {
 	spawned     uint64
 	schedHash   uint64
 
+	// clockA mirrors clock for lock-free reads (ClockFast): consumers
+	// holding unrelated locks (e.g. the seq consumption hook) can read the
+	// logical clock without risking lock-order inversions against s.mu.
+	clockA atomic.Uint64
+	// turnWait measures the GetTurn slow path (thread parked waiting for
+	// the token). Installed by SetObs before Start, nil when off; the idle
+	// thread's parking is excluded (it parks by design whenever any
+	// application thread runs).
+	turnWait *obs.Histogram
+
 	gate      Gate
 	observer  Observer
 	barriers  []*SoftBarrier
@@ -99,6 +112,40 @@ func New() *Scheduler {
 
 // SetGate installs the CRANE admission gate. Must be called before Start.
 func (s *Scheduler) SetGate(g Gate) { s.gate = g }
+
+// SetObs registers scheduler instruments into reg: the turn-wait histogram
+// and gauges over the running counters. Must be called before Start; a nil
+// reg is a no-op.
+func (s *Scheduler) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.turnWait = reg.Histogram("dmt_turn_wait_seconds",
+		"time an application thread parks waiting for the scheduler token")
+	reg.GaugeFunc("dmt_clock", "logical clock (one tick per scheduled op)", func() float64 {
+		return float64(s.ClockFast())
+	})
+	reg.GaugeFunc("dmt_token_passes_total", "put_turn rotations", func() float64 {
+		return float64(s.Stats().TokenPasses)
+	})
+	reg.GaugeFunc("dmt_waits_total", "wait() calls", func() float64 {
+		return float64(s.Stats().Waits)
+	})
+	reg.GaugeFunc("dmt_signals_total", "signal/broadcast wake-ups delivered", func() float64 {
+		return float64(s.Stats().Signals)
+	})
+	reg.GaugeFunc("dmt_threads_spawned_total", "application threads created", func() float64 {
+		return float64(s.Stats().Spawned)
+	})
+	reg.GaugeFunc("dmt_runq_len", "current run-queue length", func() float64 {
+		return float64(s.RunQueueLen())
+	})
+}
+
+// ClockFast returns the logical clock from an atomic mirror, without taking
+// the scheduler lock. Safe from any goroutine, including callbacks that
+// already hold other locks.
+func (s *Scheduler) ClockFast() uint64 { return s.clockA.Load() }
 
 // Start launches the internal idle thread. It must be called exactly once.
 func (s *Scheduler) Start() {
@@ -264,6 +311,7 @@ func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 // If the token is already parked on t, it returns immediately.
 func (t *Thread) GetTurn() {
 	s := t.s
+	var waitStart time.Time
 	for {
 		s.mu.Lock()
 		if s.killed {
@@ -272,9 +320,17 @@ func (t *Thread) GetTurn() {
 		}
 		if len(s.runq) > 0 && s.runq[0] == t {
 			s.mu.Unlock()
+			if !waitStart.IsZero() {
+				s.turnWait.Since(waitStart)
+			}
 			return
 		}
 		s.mu.Unlock()
+		// Slow path: about to park. Timed only here, so the fast path
+		// (already at head) costs nothing with instrumentation off or on.
+		if s.turnWait != nil && !t.isIdle && waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		select {
 		case <-t.wake:
 		case <-s.killCh:
@@ -325,6 +381,7 @@ func (t *Thread) PutTurn() {
 // rotation order.
 func (s *Scheduler) tickLocked(t *Thread, op byte) {
 	s.clock++
+	s.clockA.Store(s.clock)
 	s.recordLocked(t, op)
 	s.replayAdvanceLocked(t, op)
 	if t.isIdle {

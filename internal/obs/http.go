@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is the /healthz payload: the liveness/role facts an operator (or
+// load balancer) needs to route around a sick replica.
+type Health struct {
+	Replica     int    `json:"replica"`
+	Mode        string `json:"mode"`
+	Primary     bool   `json:"primary"`
+	View        uint64 `json:"view"`
+	ViewPrimary int    `json:"view_primary"`
+	CommitIndex uint64 `json:"commit_index"`
+	WALTail     uint64 `json:"wal_tail"`
+	WALLag      uint64 `json:"wal_lag"` // commit index minus WAL tail
+	OpenConns   int64  `json:"open_conns"`
+	SeqPending  int    `json:"seq_pending"`
+}
+
+// Server is one replica's scrape endpoint: /metrics (Prometheus text),
+// /healthz (JSON), /debug/pprof (the standard profiles). It binds its own
+// listener and mux — never the process-global DefaultServeMux — so every
+// replica in a test process can serve independently.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer serves reg and health on addr ("host:0" picks a free port).
+// health may be nil (the endpoint then returns 404); tracer may be nil
+// (/trace returns an empty body).
+func StartServer(addr string, reg *Registry, health func() Health, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(health())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tracer.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

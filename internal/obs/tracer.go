@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names recorded by the crane layers. An admitted socket
+// call carries one request id from proxy admission through consensus,
+// WAL persist, DMT admission, execution, and output.
+const (
+	StageAdmit    = "admit"     // proxy accepted the socket call (primary)
+	StageProposed = "proposed"  // burst accepted for consensus ordering
+	StageCommit   = "committed" // consensus slot assigned + WAL persisted
+	StageConsumed = "consumed"  // server consumed the call at its DMT turn
+	StageOutput   = "output"    // server emitted a response on the wire
+)
+
+// SpanEvent is one lifecycle stage of one request. Wall is physical
+// nanoseconds (UnixNano); Logical is the DMT logical clock at the stage —
+// the pair of timestamps lets offline analysis separate physical stalls
+// (fsync, network) from logical ones (turn waits, bubble exhaustion),
+// an observability capability the paper's CRANE lacked.
+type SpanEvent struct {
+	Req     uint64 // request id assigned at proxy admission (0: none, e.g. outputs)
+	Conn    uint64 // connection id (0 when not connection-bound)
+	Index   uint64 // consensus slot (0 before commitment)
+	Stage   string
+	Wall    int64  // UnixNano
+	Logical uint64 // DMT logical clock (0 in non-DMT modes)
+}
+
+// Tracer is a bounded in-memory ring of lifecycle events, dumpable as
+// JSONL for offline analysis. A nil *Tracer discards events, so tracing
+// is zero-cost unless a capacity is configured.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []SpanEvent
+	next    int
+	wrapped bool
+}
+
+// NewTracer creates a tracer keeping the most recent capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{buf: make([]SpanEvent, 0, capacity)}
+}
+
+// Record appends one event, stamping Wall with the current time when
+// unset. Safe on a nil receiver.
+func (t *Tracer) Record(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	if ev.Wall == 0 {
+		ev.Wall = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % cap(t.buf)
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Events returns the retained events in recording order.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanEvent, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL dumps every retained event as one JSON object per line.
+// The encoding is hand-rolled (fixed field set, no reflection) so dumping
+// a large ring does not allocate per event beyond the line buffer.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	line := make([]byte, 0, 160)
+	for _, ev := range t.Events() {
+		line = line[:0]
+		line = append(line, `{"req":`...)
+		line = strconv.AppendUint(line, ev.Req, 10)
+		line = append(line, `,"conn":`...)
+		line = strconv.AppendUint(line, ev.Conn, 10)
+		line = append(line, `,"index":`...)
+		line = strconv.AppendUint(line, ev.Index, 10)
+		line = append(line, `,"stage":"`...)
+		line = append(line, ev.Stage...)
+		line = append(line, `","wall_ns":`...)
+		line = strconv.AppendInt(line, ev.Wall, 10)
+		line = append(line, `,"logical":`...)
+		line = strconv.AppendUint(line, ev.Logical, 10)
+		line = append(line, '}', '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageBreakdown aggregates the retained events into per-transition
+// latency distributions: for every request that recorded both stages of a
+// transition (admit→proposed, proposed→committed, committed→consumed,
+// consumed→output), the wall-clock and logical-clock deltas.
+type StageBreakdown struct {
+	From, To   string
+	Count      int
+	WallP50    time.Duration
+	WallP95    time.Duration
+	WallMax    time.Duration
+	LogicalP50 uint64 // logical clocks elapsed (DMT modes)
+}
+
+// Breakdown computes the per-transition latency table from the retained
+// events. Requests with missing stages (ring eviction, backup replicas
+// that never admit) are skipped per transition.
+func (t *Tracer) Breakdown() []StageBreakdown {
+	if t == nil {
+		return nil
+	}
+	type stamp struct {
+		wall    int64
+		logical uint64
+	}
+	byReq := make(map[uint64]map[string]stamp)
+	for _, ev := range t.Events() {
+		if ev.Req == 0 {
+			continue
+		}
+		m := byReq[ev.Req]
+		if m == nil {
+			m = make(map[string]stamp, 5)
+			byReq[ev.Req] = m
+		}
+		if _, dup := m[ev.Stage]; !dup { // keep the first occurrence
+			m[ev.Stage] = stamp{wall: ev.Wall, logical: ev.Logical}
+		}
+	}
+	transitions := [][2]string{
+		{StageAdmit, StageProposed},
+		{StageProposed, StageCommit},
+		{StageCommit, StageConsumed},
+		{StageConsumed, StageOutput},
+		{StageAdmit, StageConsumed},
+	}
+	var out []StageBreakdown
+	for _, tr := range transitions {
+		var walls []time.Duration
+		var logicals []uint64
+		for _, stages := range byReq {
+			a, okA := stages[tr[0]]
+			b, okB := stages[tr[1]]
+			if !okA || !okB || b.wall < a.wall {
+				continue
+			}
+			walls = append(walls, time.Duration(b.wall-a.wall))
+			if b.logical >= a.logical {
+				logicals = append(logicals, b.logical-a.logical)
+			}
+		}
+		if len(walls) == 0 {
+			continue
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+		bd := StageBreakdown{
+			From:    tr[0],
+			To:      tr[1],
+			Count:   len(walls),
+			WallP50: walls[len(walls)/2],
+			WallP95: walls[(len(walls)*95)/100],
+			WallMax: walls[len(walls)-1],
+		}
+		if len(logicals) > 0 {
+			bd.LogicalP50 = logicals[len(logicals)/2]
+		}
+		out = append(out, bd)
+	}
+	return out
+}
+
+// String renders one breakdown row.
+func (b StageBreakdown) String() string {
+	return fmt.Sprintf("%-9s -> %-9s n=%-5d wall p50=%-10v p95=%-10v max=%-10v logical p50=%d",
+		b.From, b.To, b.Count, b.WallP50, b.WallP95, b.WallMax, b.LogicalP50)
+}

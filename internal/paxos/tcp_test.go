@@ -101,6 +101,59 @@ func TestTCPTransportConsensus(t *testing.T) {
 	}
 }
 
+func TestTCPTransportStats(t *testing.T) {
+	trA, err := NewTCPTransport(0, map[int]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trB, err := NewTCPTransport(1, map[int]string{1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	trA.SetPeerAddrs(map[int]string{1: trB.Addr()})
+
+	got := make(chan Message, 16)
+	trB.SetHandler(func(m Message) { got <- m })
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := trA.Send(1, Message{Type: MsgHeartbeat, View: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trA.Flush()
+	for i := 0; i < n; i++ {
+		select {
+		case <-got:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+
+	sa := trA.Stats()
+	if sa.Sent != n {
+		t.Fatalf("sender Sent = %d, want %d", sa.Sent, n)
+	}
+	if sa.Reconnects != 1 {
+		t.Fatalf("sender Reconnects = %d, want 1", sa.Reconnects)
+	}
+	if sa.Flushes == 0 {
+		t.Fatal("sender Flushes = 0")
+	}
+	if sa.BytesSent == 0 {
+		t.Fatal("sender BytesSent = 0")
+	}
+	sb := trB.Stats()
+	if sb.MsgsReceived != n {
+		t.Fatalf("receiver MsgsReceived = %d, want %d", sb.MsgsReceived, n)
+	}
+	if sb.BytesRecv == 0 {
+		t.Fatal("receiver BytesRecv = 0")
+	}
+}
+
 func TestTCPTransportCloseIdempotent(t *testing.T) {
 	tr, err := NewTCPTransport(0, map[int]string{0: "127.0.0.1:0"})
 	if err != nil {

@@ -131,6 +131,7 @@ type ChanTransport struct {
 	// Drop accounting (atomic: Send races with the pump goroutine and with
 	// peers' Sends targeting this endpoint's inbox).
 	sent         atomic.Uint64 // messages this endpoint sent (pre-loss)
+	received     atomic.Uint64 // messages delivered to the handler
 	lossDropped  atomic.Uint64 // sends dropped by simulated loss/isolation
 	inboxDropped atomic.Uint64 // inbound messages dropped on inbox overflow
 
@@ -140,11 +141,18 @@ type ChanTransport struct {
 	closed   bool
 }
 
-// TransportStats is a snapshot of a ChanTransport's message counters.
-// Overflow and loss drops are legal (the protocol retransmits) but were
-// previously invisible, making soak-test loss undiagnosable.
+// TransportStats is a snapshot of a transport endpoint's counters, shared
+// by ChanTransport and TCPTransport. Overflow and loss drops are legal (the
+// protocol retransmits) but were previously invisible, making soak-test
+// loss undiagnosable. Byte/flush/reconnect counters only move on transports
+// with real sockets (ChanTransport passes Message values in process).
 type TransportStats struct {
 	Sent         uint64 // messages submitted to Send (before loss)
+	MsgsReceived uint64 // messages delivered to the handler
+	BytesSent    uint64 // wire bytes written (TCP only)
+	BytesRecv    uint64 // wire bytes read (TCP only)
+	Flushes      uint64 // batch-boundary buffer flushes (TCP only)
+	Reconnects   uint64 // peer dials, initial and after failures (TCP only)
 	LossDropped  uint64 // outbound drops from simulated loss or isolation
 	InboxDropped uint64 // inbound drops from inbox overflow
 }
@@ -153,6 +161,7 @@ type TransportStats struct {
 func (t *ChanTransport) Stats() TransportStats {
 	return TransportStats{
 		Sent:         t.sent.Load(),
+		MsgsReceived: t.received.Load(),
 		LossDropped:  t.lossDropped.Load(),
 		InboxDropped: t.inboxDropped.Load(),
 	}
@@ -167,6 +176,7 @@ func (t *ChanTransport) pump() {
 			iso := t.isolated
 			t.mu.Unlock()
 			if h != nil && !iso {
+				t.received.Add(1)
 				h(msg)
 			}
 		case <-t.stop:

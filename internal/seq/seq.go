@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"crane/internal/obs"
 )
 
 // Kind discriminates sequence entries.
@@ -56,19 +58,25 @@ func (k Kind) String() string {
 // also keys checkpoints, §5.1–§5.2).
 type Entry struct {
 	Index  uint64 // global consensus index
+	Req    uint64 // lifecycle request id assigned at proxy admission (0: none)
 	Kind   Kind
 	Conn   uint64 // connection id for Connect/Send/Close
 	Port   int    // server port the client dialed (Connect only)
 	Data   []byte // payload (Send only)
 	NClock uint64 // remaining logical clocks (Bubble only)
+
+	// enqueuedAt is stamped by Enqueue for the queue-wait instrument;
+	// it never crosses the wire.
+	enqueuedAt time.Time
 }
 
 // Wire format: a fixed little-endian header followed by the payload. (The
 // Index field round-trips for completeness, but the authoritative value is
-// the consensus slot assigned on delivery.)
+// the consensus slot assigned on delivery. Req rides the wire so every
+// replica's lifecycle trace keys stages by the same request id.)
 //
-//	index(8) | kind(1) | conn(8) | port(8) | nclock(8) | len(data)(4) | data
-const entryHeaderSize = 8 + 1 + 8 + 8 + 8 + 4
+//	index(8) | req(8) | kind(1) | conn(8) | port(8) | nclock(8) | len(data)(4) | data
+const entryHeaderSize = 8 + 8 + 1 + 8 + 8 + 8 + 4
 
 // ErrBadEntry is returned by Decode for a malformed payload.
 var ErrBadEntry = errors.New("seq: malformed entry payload")
@@ -79,11 +87,12 @@ func (e *Entry) wireSize() int { return entryHeaderSize + len(e.Data) }
 // marshal writes e into b, which must be exactly wireSize() long.
 func (e *Entry) marshal(b []byte) {
 	binary.LittleEndian.PutUint64(b[0:8], e.Index)
-	b[8] = byte(e.Kind)
-	binary.LittleEndian.PutUint64(b[9:17], e.Conn)
-	binary.LittleEndian.PutUint64(b[17:25], uint64(int64(e.Port)))
-	binary.LittleEndian.PutUint64(b[25:33], e.NClock)
-	binary.LittleEndian.PutUint32(b[33:37], uint32(len(e.Data)))
+	binary.LittleEndian.PutUint64(b[8:16], e.Req)
+	b[16] = byte(e.Kind)
+	binary.LittleEndian.PutUint64(b[17:25], e.Conn)
+	binary.LittleEndian.PutUint64(b[25:33], uint64(int64(e.Port)))
+	binary.LittleEndian.PutUint64(b[33:41], e.NClock)
+	binary.LittleEndian.PutUint32(b[41:45], uint32(len(e.Data)))
 	copy(b[entryHeaderSize:], e.Data)
 }
 
@@ -93,20 +102,21 @@ func (e *Entry) unmarshal(b []byte) error {
 	if len(b) < entryHeaderSize {
 		return fmt.Errorf("%w: %d bytes", ErrBadEntry, len(b))
 	}
-	kind := Kind(b[8])
+	kind := Kind(b[16])
 	if kind < KindConnect || kind > KindBubble {
-		return fmt.Errorf("%w: kind %d", ErrBadEntry, b[8])
+		return fmt.Errorf("%w: kind %d", ErrBadEntry, b[16])
 	}
-	dlen := binary.LittleEndian.Uint32(b[33:37])
+	dlen := binary.LittleEndian.Uint32(b[41:45])
 	if int(dlen) != len(b)-entryHeaderSize {
 		return fmt.Errorf("%w: length %d vs %d payload bytes", ErrBadEntry,
 			dlen, len(b)-entryHeaderSize)
 	}
 	e.Index = binary.LittleEndian.Uint64(b[0:8])
+	e.Req = binary.LittleEndian.Uint64(b[8:16])
 	e.Kind = kind
-	e.Conn = binary.LittleEndian.Uint64(b[9:17])
-	e.Port = int(int64(binary.LittleEndian.Uint64(b[17:25])))
-	e.NClock = binary.LittleEndian.Uint64(b[25:33])
+	e.Conn = binary.LittleEndian.Uint64(b[17:25])
+	e.Port = int(int64(binary.LittleEndian.Uint64(b[25:33])))
+	e.NClock = binary.LittleEndian.Uint64(b[33:41])
 	if dlen > 0 {
 		e.Data = b[entryHeaderSize:]
 	} else {
@@ -180,6 +190,14 @@ type Sequence struct {
 	bubbleClocks  uint64
 	consumedCalls uint64
 	payloadBytes  uint64
+
+	// queueWait measures enqueue -> full consumption per client call (the
+	// DMT-turn wait a request spends in the sequence). consumedHook fires
+	// on full consumption of a client call, under s.mu — it must be cheap
+	// and must not call back into the Sequence. Both are installed before
+	// traffic and nil when observability is off.
+	queueWait    *obs.Histogram
+	consumedHook func(e *Entry)
 }
 
 // New creates an empty sequence.
@@ -187,10 +205,46 @@ func New() *Sequence {
 	return &Sequence{lastDrain: time.Now()}
 }
 
+// SetObs registers the sequence's instruments into reg: the queue-wait
+// histogram (enqueue to full consumption per client call) and gauges over
+// the running counters. Call before traffic; a nil reg is a no-op.
+func (s *Sequence) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.queueWait = reg.Histogram("seq_queue_wait_seconds",
+		"time a client call spends queued between consensus delivery and DMT consumption")
+	s.mu.Unlock()
+	reg.GaugeFunc("seq_pending", "entries currently queued", func() float64 {
+		return float64(s.Len())
+	})
+	reg.GaugeFunc("seq_enqueued_total", "entries ever enqueued", func() float64 {
+		return float64(s.Stats().Enqueued)
+	})
+	reg.GaugeFunc("seq_bubbles_total", "time bubbles enqueued", func() float64 {
+		return float64(s.Stats().Bubbles)
+	})
+	reg.GaugeFunc("seq_bubble_clocks_total", "logical clocks consumed from bubbles", func() float64 {
+		return float64(s.Stats().BubbleClocks)
+	})
+}
+
+// SetConsumedHook installs fn, invoked once per fully consumed client call
+// (CONNECT accepted, SEND drained to its last byte, CLOSE observed). fn runs
+// under the sequence lock: it must be cheap and must not call back into the
+// Sequence. Install before traffic.
+func (s *Sequence) SetConsumedHook(fn func(e *Entry)) {
+	s.mu.Lock()
+	s.consumedHook = fn
+	s.mu.Unlock()
+}
+
 // Enqueue appends a decided entry (called by the proxy in consensus order).
 func (s *Sequence) Enqueue(e *Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.enqueuedAt = time.Now()
 	s.entries = append(s.entries, e)
 	s.enqueued++
 	s.payloadBytes += uint64(len(e.Data)) + 16 // payload + entry framing
@@ -322,10 +376,19 @@ func (s *Sequence) PopIfConn(conn uint64) bool {
 }
 
 func (s *Sequence) popLocked() {
+	e := s.entries[0]
 	s.entries[0] = nil
 	s.entries = s.entries[1:]
 	if len(s.entries) == 0 {
 		s.lastDrain = time.Now()
+	}
+	if e.Kind != KindBubble {
+		if s.queueWait != nil && !e.enqueuedAt.IsZero() {
+			s.queueWait.Since(e.enqueuedAt)
+		}
+		if s.consumedHook != nil {
+			s.consumedHook(e)
+		}
 	}
 }
 

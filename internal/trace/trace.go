@@ -12,7 +12,6 @@ package trace
 import (
 	"bytes"
 	"fmt"
-	"hash/fnv"
 	"regexp"
 	"sync"
 )
@@ -30,22 +29,47 @@ type OutputLog struct {
 	name       string
 	events     []Event
 	normalizer *regexp.Regexp
+	hash       uint64 // incremental FNV-1a over normalized outputs
 }
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
 
 // NewOutputLog creates a log named after its replica.
 func NewOutputLog(name string) *OutputLog {
-	return &OutputLog{name: name}
+	return &OutputLog{name: name, hash: fnvOffset}
 }
 
 // SetNormalizer installs a regexp whose matches are masked before
-// comparison (the paper's "except physical times" carve-out).
+// comparison (the paper's "except physical times" carve-out). The cached
+// fingerprint is recomputed over the stored events under the new rule.
 func (l *OutputLog) SetNormalizer(re *regexp.Regexp) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.normalizer = re
-	l.mu.Unlock()
+	l.hash = fnvOffset
+	for _, e := range l.events {
+		l.hash = hashEvent(l.hash, e.Conn, l.normalized(e.Data))
+	}
 }
 
-// Record appends one outgoing socket call.
+// hashEvent folds one event into the running FNV-1a hash, using the same
+// framing Fingerprint historically used: "conn|" + data + NUL.
+func hashEvent(h, conn uint64, data []byte) uint64 {
+	for _, b := range []byte(fmt.Sprintf("%d|", conn)) {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	for _, b := range data {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return (h ^ 0) * fnvPrime // trailing NUL separator
+}
+
+// Record appends one outgoing socket call and folds it into the running
+// fingerprint, keeping Fingerprint O(1) instead of rehashing every event.
 func (l *OutputLog) Record(conn uint64, data []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -54,6 +78,7 @@ func (l *OutputLog) Record(conn uint64, data []byte) {
 		Conn: conn,
 		Data: append([]byte(nil), data...),
 	})
+	l.hash = hashEvent(l.hash, conn, l.normalized(data))
 }
 
 // Len returns the number of recorded outputs.
@@ -83,17 +108,13 @@ func (l *OutputLog) normalized(data []byte) []byte {
 }
 
 // Fingerprint returns an FNV-1a hash over the normalized ordered outputs;
-// equal fingerprints mean byte-identical (normalized) output streams.
+// equal fingerprints mean byte-identical (normalized) output streams. The
+// hash is maintained incrementally by Record, so this is O(1) — it can be
+// polled per request (e.g. by a metrics scrape) without rescanning the log.
 func (l *OutputLog) Fingerprint() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	h := fnv.New64a()
-	for _, e := range l.events {
-		fmt.Fprintf(h, "%d|", e.Conn)
-		h.Write(l.normalized(e.Data))
-		h.Write([]byte{0})
-	}
-	return h.Sum64()
+	return l.hash
 }
 
 // Divergence describes the first difference between two logs.

@@ -22,6 +22,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"crane/internal/obs"
 )
 
 // Record is a single durable entry: an opaque payload bound to a global
@@ -58,6 +61,9 @@ type Options struct {
 	// NoSync disables fsync on append. The paper's deployment syncs to
 	// SSD; tests may disable it for speed.
 	NoSync bool
+	// Obs registers WAL instruments (append counters, batch sizes, fsync
+	// count and latency). nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // Log is an append-only segmented record log. All methods are safe for
@@ -73,6 +79,12 @@ type Log struct {
 	empty    bool
 	closed   bool
 	scratch  []byte // reusable frame-encoding buffer, guarded by mu
+
+	// instruments (nil instruments discard observations)
+	obsAppends   *obs.Counter
+	obsFsyncs    *obs.Counter
+	obsBatchRecs *obs.Histogram // records per group commit
+	obsFsyncLat  *obs.Histogram // fsync duration
 }
 
 type segment struct {
@@ -92,6 +104,20 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, empty: true}
+	if opts.Obs != nil {
+		l.obsAppends = opts.Obs.Counter("wal_appends_total",
+			"records durably appended")
+		l.obsFsyncs = opts.Obs.Counter("wal_fsyncs_total",
+			"fsync calls issued by appends")
+		l.obsBatchRecs = opts.Obs.ValueHistogram("wal_batch_records",
+			"records framed per group commit")
+		l.obsFsyncLat = opts.Obs.Histogram("wal_fsync_seconds",
+			"append-path fsync latency")
+		opts.Obs.GaugeFunc("wal_tail_index", "highest index persisted", func() float64 {
+			tail, _ := l.Tail()
+			return float64(tail)
+		})
+	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
 	if err != nil {
 		return nil, fmt.Errorf("wal: scan: %w", err)
@@ -224,11 +250,15 @@ func (l *Log) appendLocked(recs []Record) error {
 			return fmt.Errorf("wal: append: %w", err)
 		}
 		if !l.opts.NoSync {
+			t0 := time.Now()
 			if err := seg.f.Sync(); err != nil {
 				l.scratch = buf[:0]
 				return fmt.Errorf("wal: sync: %w", err)
 			}
+			l.obsFsyncs.Inc()
+			l.obsFsyncLat.Since(t0)
 		}
+		l.obsBatchRecs.ObserveValue(uint64(i - start))
 		off := seg.size
 		for j := start; j < i; j++ {
 			seg.offsets[recs[j].Index] = off
@@ -242,6 +272,7 @@ func (l *Log) appendLocked(recs []Record) error {
 		l.empty = false
 	}
 	l.next = recs[len(recs)-1].Index + 1
+	l.obsAppends.Add(uint64(len(recs)))
 	return nil
 }
 
