@@ -1,0 +1,34 @@
+GO ?= go
+
+# Third-party analysis tools, pinned so CI and local runs agree.
+# staticcheck 2024.1.x is the newest series supporting go.mod's go 1.22.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test race lint staticcheck govulncheck check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's own cranevet suite (internal/lint): nondeterminism
+# in replicated code, lock-order cycles, dropped durability errors, and
+# observation-path instrument registration. Violations exit non-zero;
+# suppress intentionally with //crane:<analyzer>-ok <reason>.
+lint:
+	$(GO) run ./cmd/cranevet ./...
+
+# staticcheck and govulncheck fetch their pinned versions on first use,
+# so they need network access; CI runs them as separate jobs.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+check: build test lint

@@ -98,7 +98,7 @@ func (s *riskyServer) serve(t papi.T, c papi.Conn, lockA, lockB papi.Mutex) {
 		switch cmd {
 		case "AB":
 			lockA.Lock(t)
-			lockB.Lock(t)
+			lockB.Lock(t) //crane:lockorder-ok deliberate AB/BA inversion: this example exists to feed the deadlock analysis a latent cycle
 			t.Work(50)
 			lockB.Unlock(t)
 			lockA.Unlock(t)

@@ -99,7 +99,7 @@ type Server struct {
 	cfg Config
 	fs  *cfs.FS
 
-	stateMu  sync.Mutex
+	stateMu  sync.Mutex //crane:nondet-ok guards counters for Snapshot, which the checkpoint layer drives at quiescent points outside the DMT schedule
 	scanned  uint64
 	infected uint64
 }

@@ -5,6 +5,13 @@
 // over raw simulated sockets and reports response-time statistics
 // ("we measured each workload's response time as it has direct impact on
 // users ... ran 1K requests ... picked the median value").
+//
+// The drivers run on the client side of the wire — outside the replicated
+// state machine — so their concurrency and measurement clocks are exempt
+// from the papi discipline; the exemptions are annotated where they occur.
+// Anything that feeds bytes INTO the servers (the SysBench row data and
+// query ids) must still be deterministic so repeated runs exercise
+// identical request streams, hence papi.Rand rather than math/rand.
 package clients
 
 import (
@@ -12,15 +19,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"crane/internal/papi"
 	"crane/internal/simnet"
 )
+
+// now is the harness measurement clock: request latencies and socket
+// deadlines are observed client-side and never enter replicated state.
+var now = time.Now //crane:nondet-ok harness-side measurement clock; client drivers run outside the replicated state machine
 
 // Dialer connects a named client to a server port; implementations route
 // to the cluster primary or directly to an un-replicated server.
@@ -60,9 +71,55 @@ func summarize(latencies []time.Duration, errs int, total time.Duration) Summary
 	return s
 }
 
+// collector aggregates per-request outcomes across closed-loop workers
+// and hands out request sequence numbers.
+type collector struct {
+	mu        sync.Mutex //crane:nondet-ok harness-side aggregation on the client of the wire, invisible to replicas
+	latencies []time.Duration
+	errs      int
+	next      int
+}
+
+// claim reserves the next request sequence number, or reports exhaustion.
+func (c *collector) claim(total int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.next >= total {
+		return 0, false
+	}
+	seq := c.next
+	c.next++
+	return seq, true
+}
+
+func (c *collector) record(lat time.Duration, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if failed {
+		c.errs++
+	} else {
+		c.latencies = append(c.latencies, lat)
+	}
+}
+
+// runWorkers starts `concurrency` closed-loop workers and waits for all of
+// them, mirroring ab's worker pool.
+func runWorkers(concurrency int, worker func(w int)) {
+	var wg sync.WaitGroup //crane:nondet-ok harness worker pool on the client of the wire, invisible to replicas
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		//crane:nondet-ok harness worker pool on the client of the wire, invisible to replicas
+		go func(w int) {
+			defer wg.Done()
+			worker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
 // readHTTPResponse reads status line, headers, and a Content-Length body.
 func readHTTPResponse(c *simnet.Conn) (status int, body []byte, err error) {
-	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	c.SetReadDeadline(now().Add(30 * time.Second))
 	var acc []byte
 	buf := make([]byte, 4096)
 	headerEnd := -1
@@ -134,42 +191,20 @@ func ApacheBench(d Dialer, port int, path string, concurrency, total int) Summar
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	start := time.Now()
-	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		errs      int
-		next      int
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= total {
-					mu.Unlock()
-					return
-				}
-				seq := next
-				next++
-				mu.Unlock()
-				t0 := time.Now()
-				status, _, err := Curl(d, fmt.Sprintf("ab%d:%d", w, seq), port, "GET", path, nil)
-				lat := time.Since(t0)
-				mu.Lock()
-				if err != nil || status >= 500 || status == 0 {
-					errs++
-				} else {
-					latencies = append(latencies, lat)
-				}
-				mu.Unlock()
+	start := now()
+	var col collector
+	runWorkers(concurrency, func(w int) {
+		for {
+			seq, ok := col.claim(total)
+			if !ok {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
-	return summarize(latencies, errs, time.Since(start))
+			t0 := now()
+			status, _, err := Curl(d, fmt.Sprintf("ab%d:%d", w, seq), port, "GET", path, nil)
+			col.record(now().Sub(t0), err != nil || status >= 500 || status == 0)
+		}
+	})
+	return summarize(col.latencies, col.errs, now().Sub(start))
 }
 
 // lineRequest sends one text line and reads until stop appears (or EOF).
@@ -182,7 +217,7 @@ func lineRequest(d Dialer, client string, port int, line, stop string) (string, 
 	if _, err := c.Write([]byte(line + "\n")); err != nil {
 		return "", err
 	}
-	c.SetReadDeadline(time.Now().Add(60 * time.Second))
+	c.SetReadDeadline(now().Add(60 * time.Second))
 	var acc []byte
 	buf := make([]byte, 4096)
 	for {
@@ -228,47 +263,26 @@ func lineBench(d Dialer, port int, line, stop string, concurrency, total int, pr
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	start := time.Now()
-	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		errs      int
-		next      int
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= total {
-					mu.Unlock()
-					return
-				}
-				seq := next
-				next++
-				mu.Unlock()
-				t0 := time.Now()
-				resp, err := lineRequest(d, fmt.Sprintf("%s%d:%d", prefix, w, seq), port, line, stop)
-				lat := time.Since(t0)
-				mu.Lock()
-				if err != nil || strings.Contains(resp, "ERROR") {
-					errs++
-				} else {
-					latencies = append(latencies, lat)
-				}
-				mu.Unlock()
+	start := now()
+	var col collector
+	runWorkers(concurrency, func(w int) {
+		for {
+			seq, ok := col.claim(total)
+			if !ok {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
-	return summarize(latencies, errs, time.Since(start))
+			t0 := now()
+			resp, err := lineRequest(d, fmt.Sprintf("%s%d:%d", prefix, w, seq), port, line, stop)
+			col.record(now().Sub(t0), err != nil || strings.Contains(resp, "ERROR"))
+		}
+	})
+	return summarize(col.latencies, col.errs, now().Sub(start))
 }
 
 // SysBenchPrepare creates and populates the sbtest table over one
 // connection (sysbench's prepare phase; this is what makes MySQL's
-// filesystem checkpoint large, Table 2).
+// filesystem checkpoint large, Table 2). Row content is drawn from
+// papi.Rand so every run feeds the replicas a byte-identical table.
 func SysBenchPrepare(d Dialer, client string, port int, rows int) error {
 	c, err := d(client, port)
 	if err != nil {
@@ -279,7 +293,7 @@ func SysBenchPrepare(d Dialer, client string, port int, rows int) error {
 		if _, err := c.Write([]byte(stmt + "\n")); err != nil {
 			return err
 		}
-		c.SetReadDeadline(time.Now().Add(60 * time.Second))
+		c.SetReadDeadline(now().Add(60 * time.Second))
 		var acc []byte
 		buf := make([]byte, 512)
 		for !bytes.Contains(acc, []byte("\n")) {
@@ -297,7 +311,7 @@ func SysBenchPrepare(d Dialer, client string, port int, rows int) error {
 	if err := send("CREATE TABLE sbtest (id k c pad)", "OK"); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := papi.NewRand(1)
 	for i := 1; i <= rows; i++ {
 		stmt := fmt.Sprintf("INSERT INTO sbtest VALUES %d %d 'c-%08d' 'pad-%016x'",
 			i, rng.Intn(rows)+1, i, rng.Int63())
@@ -312,48 +326,27 @@ func SysBenchPrepare(d Dialer, client string, port int, rows int) error {
 
 // SysBench runs `total` random point SELECTs (sysbench oltp read-only's
 // dominant statement) with the given concurrency, each over a fresh
-// session like the other workloads.
+// session like the other workloads. Query ids come from papi.Rand seeded
+// per worker, so the request stream the replicas see is reproducible.
 func SysBench(d Dialer, port int, tableRows, concurrency, total int) Summary {
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	start := time.Now()
-	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		errs      int
-		next      int
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w) + 7))
-			for {
-				mu.Lock()
-				if next >= total {
-					mu.Unlock()
-					return
-				}
-				seq := next
-				next++
-				mu.Unlock()
-				id := rng.Intn(tableRows) + 1
-				t0 := time.Now()
-				resp, err := lineRequest(d, fmt.Sprintf("sb%d:%d", w, seq), port,
-					fmt.Sprintf("SELECT * FROM sbtest WHERE id = %d\nQUIT", id), "ROWS ")
-				lat := time.Since(t0)
-				mu.Lock()
-				if err != nil || !strings.HasPrefix(resp, "ROWS") {
-					errs++
-				} else {
-					latencies = append(latencies, lat)
-				}
-				mu.Unlock()
+	start := now()
+	var col collector
+	runWorkers(concurrency, func(w int) {
+		rng := papi.NewRand(int64(w) + 7)
+		for {
+			seq, ok := col.claim(total)
+			if !ok {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
-	return summarize(latencies, errs, time.Since(start))
+			id := rng.Intn(tableRows) + 1
+			t0 := now()
+			resp, err := lineRequest(d, fmt.Sprintf("sb%d:%d", w, seq), port,
+				fmt.Sprintf("SELECT * FROM sbtest WHERE id = %d\nQUIT", id), "ROWS ")
+			col.record(now().Sub(t0), err != nil || !strings.HasPrefix(resp, "ROWS"))
+		}
+	})
+	return summarize(col.latencies, col.errs, now().Sub(start))
 }

@@ -109,7 +109,7 @@ type Server struct {
 
 	// stateMu guards cache and counters for Snapshot; the schedule-level
 	// exclusion is the papi mutex created in Run.
-	stateMu sync.Mutex
+	stateMu sync.Mutex //crane:nondet-ok Snapshot runs off-schedule at quiescent checkpoints; schedule-level exclusion is the papi mutex in Run
 	cache   map[string][]byte
 	served  uint64
 }

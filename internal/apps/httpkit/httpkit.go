@@ -146,7 +146,7 @@ func (resp *Response) Write(t papi.T, c papi.Conn, server string, withDate bool)
 	fmt.Fprintf(&b, "HTTP/1.0 %d %s\r\n", resp.Status, reason)
 	fmt.Fprintf(&b, "Server: %s\r\n", server)
 	if withDate {
-		fmt.Fprintf(&b, "Date: %s\r\n", time.Now().UTC().Format(time.RFC1123))
+		fmt.Fprintf(&b, "Date: %s\r\n", t.Now().UTC().Format(time.RFC1123))
 	}
 	for _, h := range resp.Headers {
 		fmt.Fprintf(&b, "%s\r\n", h)

@@ -37,6 +37,13 @@ func (c *stubConn) Send(t papi.T, data []byte) (int, error) {
 
 func (c *stubConn) Close(t papi.T) error { return nil }
 
+// stubT provides the deterministic clock Response.Write reads the Date
+// header from; everything else is inherited (and unused) from the
+// embedded nil interface.
+type stubT struct{ papi.T }
+
+func (stubT) Now() time.Time { return time.Unix(1136239445, 0).UTC() }
+
 func TestParseSimpleGet(t *testing.T) {
 	c := &stubConn{chunks: [][]byte{[]byte("GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n")}}
 	r := NewReader(nil, c)
@@ -105,7 +112,7 @@ func TestParseMalformed(t *testing.T) {
 func TestResponseWrite(t *testing.T) {
 	c := &stubConn{}
 	resp := &Response{Status: 200, Body: []byte("payload"), Headers: []string{"X-Test: 1"}}
-	if err := resp.Write(nil, c, "srv/1.0", false); err != nil {
+	if err := resp.Write(stubT{}, c, "srv/1.0", false); err != nil {
 		t.Fatal(err)
 	}
 	got := string(c.sent[0])
@@ -125,7 +132,7 @@ func TestResponseWrite(t *testing.T) {
 func TestResponseWriteWithDate(t *testing.T) {
 	c := &stubConn{}
 	resp := &Response{Status: 404}
-	if err := resp.Write(nil, c, "srv", true); err != nil {
+	if err := resp.Write(stubT{}, c, "srv", true); err != nil {
 		t.Fatal(err)
 	}
 	got := string(c.sent[0])

@@ -91,7 +91,7 @@ type Server struct {
 	cfg Config
 	fs  *cfs.FS
 
-	stateMu sync.Mutex // guards tables map contents for Snapshot
+	stateMu sync.Mutex //crane:nondet-ok guards Go map internals under per-table papi locks; Snapshot runs off-schedule so this cannot be a papi.Mutex
 	tables  map[string]*table
 	queries uint64
 	// restored holds snapshot table state until Run can rebuild lock

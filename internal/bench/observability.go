@@ -243,7 +243,7 @@ func proposeCommitTrial(ops int, instrumented bool) (float64, error) {
 		}
 		n, err := paxos.NewNode(cfg)
 		if err != nil {
-			store.Close()
+			store.Close() //crane:fsyncerr-ok cleanup after failed node start; the original error is returned
 			return 0, err
 		}
 		nodes = append(nodes, n)

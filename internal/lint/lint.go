@@ -1,0 +1,253 @@
+// Package lint is cranevet's static-analysis framework: a small,
+// dependency-free equivalent of golang.org/x/tools/go/analysis used to
+// machine-check the invariants CRANE's correctness rests on.
+//
+// The original system gets its coverage guarantee from LD_PRELOAD: *every*
+// libc call a replicated server makes is interposed, so no source of
+// nondeterminism can bypass the DMT scheduler or the Paxos sequence. A Go
+// reproduction has no link-time interposition point — applications promise
+// to call internal/papi instead of raw go/sync/time/rand — and an
+// unchecked promise is exactly the kind of convention that Determinator
+// argues must be system-enforced. The analyzers in this package turn the
+// convention into a build-failing check:
+//
+//   - nondet:    raw goroutines, select, sync, time, math/rand, escaping
+//     map iteration, and direct net dialing in replicated packages
+//   - lockorder: a static inter-procedural lock-acquisition graph whose
+//     cycles are potential deadlocks (the static companion of
+//     internal/analysis.LockOrderChecker)
+//   - fsyncerr:  dropped or shadowed errors on WAL/commit durability paths
+//   - obsreg:    instrument registration on observation hot paths
+//
+// Suppression: a finding may be deliberately accepted with a
+// "//crane:<analyzer>-ok <reason>" comment on the flagged line, the line
+// above it, or the declaration line of the object the finding is about
+// (so annotating a field declaration covers every use of that field). The
+// reason is mandatory.
+//
+// Replication scope: a package is "replicated" — and subject to nondet —
+// if its import path is under crane/internal/apps, or any of its files
+// carries a "//crane:replicated" comment. Test files are never analyzed
+// (the loader reads only GoFiles), and client harness code inside
+// replicated packages is exempted line-by-line via annotations.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Exactly one of Run and RunSuite is set:
+// Run analyzes a single package; RunSuite analyzes the whole loaded
+// universe at once (needed for inter-package lock-order analysis).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+	// RunSuite receives every loaded package; diagnostics are reported
+	// through any one of the passes (they share a collector).
+	RunSuite func([]*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Replicated reports whether this package is held to the papi
+	// discipline (see package doc).
+	Replicated bool
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// related is the declaration position of the object the finding is
+	// about (zero if none); suppression comments there also apply.
+	related token.Position
+}
+
+// String formats the finding the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.reportRelated(pos, token.NoPos, format, args...)
+}
+
+// ReportObj records a finding at pos about object obj; a suppression
+// comment at obj's declaration also silences it.
+func (p *Pass) ReportObj(pos token.Pos, obj types.Object, format string, args ...any) {
+	rel := token.NoPos
+	if obj != nil {
+		rel = obj.Pos()
+	}
+	p.reportRelated(pos, rel, format, args...)
+}
+
+func (p *Pass) reportRelated(pos, rel token.Pos, format string, args ...any) {
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if rel.IsValid() {
+		d.related = p.Fset.Position(rel)
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// suppressionRe matches "//crane:<analyzer>-ok <reason>".
+var suppressionRe = regexp.MustCompile(`//\s*crane:([a-z]+)-ok(.*)$`)
+
+// suppressions indexes the "//crane:<analyzer>-ok" comments of one package
+// by (filename, line) for each analyzer name.
+type suppressions map[string]map[int]string // file -> line -> analyzer names (space-joined)
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressionRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					report(Diagnostic{
+						Analyzer: m[1],
+						Pos:      pos,
+						Message:  fmt.Sprintf("crane:%s-ok suppression requires a reason", m[1]),
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]string{}
+					sup[pos.Filename] = lines
+				}
+				lines[pos.Line] += " " + m[1]
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if strings.Contains(lines[l], analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// replicated reports whether a package is subject to the papi discipline.
+func replicated(path string, files []*ast.File) bool {
+	if path == "crane/internal/apps" || strings.HasPrefix(path, "crane/internal/apps/") {
+		return true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "crane:replicated") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Analyzers is the cranevet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer, ObsRegAnalyzer}
+}
+
+// RunAnalyzers executes the given analyzers over the loaded packages and
+// returns unsuppressed findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	perPkgSup := make([]suppressions, len(pkgs))
+	for i, pkg := range pkgs {
+		perPkgSup[i] = collectSuppressions(pkg.Fset, pkg.Files, func(d Diagnostic) {
+			all = append(all, d)
+		})
+	}
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		passes := make([]*Pass, len(pkgs))
+		for i, pkg := range pkgs {
+			passes[i] = &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Replicated: replicated(pkg.PkgPath, pkg.Files),
+				diags:      &diags,
+			}
+		}
+		if a.RunSuite != nil {
+			a.RunSuite(passes)
+		} else {
+			for _, p := range passes {
+				a.Run(p)
+			}
+		}
+		// Apply suppressions: the flagged line, the line above, or the
+		// declaration line of the related object.
+		sup := suppressions{}
+		for _, s := range perPkgSup {
+			for file, lines := range s {
+				if sup[file] == nil {
+					sup[file] = map[int]string{}
+				}
+				for l, names := range lines {
+					sup[file][l] += names
+				}
+			}
+		}
+		for _, d := range diags {
+			if sup.covers(d.Analyzer, d.Pos) {
+				continue
+			}
+			if d.related.IsValid() && sup.covers(d.Analyzer, d.related) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Message < all[j].Message
+	})
+	return all
+}

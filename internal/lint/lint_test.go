@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crane/internal/lint"
+	"crane/internal/lint/linttest"
+)
+
+func testdata(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestNondet(t *testing.T) {
+	linttest.Run(t, testdata(t, "nondet"), lint.NondetAnalyzer)
+}
+
+// TestNondetSkipsUnreplicated verifies the replication scoping: the same
+// raw constructs in a package that is neither under internal/apps nor
+// marked //crane:replicated produce no findings.
+func TestNondetSkipsUnreplicated(t *testing.T) {
+	linttest.Run(t, testdata(t, "unreplicated"), lint.NondetAnalyzer)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, testdata(t, "lockorder"), lint.LockOrderAnalyzer)
+}
+
+func TestFsyncErr(t *testing.T) {
+	linttest.Run(t, testdata(t, "fsyncerr"), lint.FsyncErrAnalyzer)
+}
+
+func TestObsReg(t *testing.T) {
+	linttest.Run(t, testdata(t, "obsreg"), lint.ObsRegAnalyzer)
+}
+
+// TestSuppressionRequiresReason checks that a reasonless
+// //crane:nondet-ok is rejected and does not silence the finding.
+func TestSuppressionRequiresReason(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.NondetAnalyzer})
+	var reasonless, timeNow bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppression requires a reason") {
+			reasonless = true
+		}
+		if strings.Contains(d.Message, "time.Now reads physical time") {
+			timeNow = true
+		}
+	}
+	if !reasonless {
+		t.Errorf("reasonless suppression not reported; got %v", diags)
+	}
+	if !timeNow {
+		t.Errorf("reasonless suppression silenced the finding; got %v", diags)
+	}
+}
+
+// TestLoadRepo ensures the loader handles the real module, including
+// packages that import each other.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./internal/papi", "./internal/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s incompletely loaded", p.PkgPath)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package linttest is an analysistest-style harness for cranevet
+// analyzers: it type-checks a testdata package, runs analyzers over it,
+// and compares the findings against `// want "regexp"` comments placed on
+// the offending lines. Each want regexp must match exactly one finding on
+// its line, and every finding must be claimed by a want.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crane/internal/lint"
+)
+
+// wantRe extracts the patterns from a want comment; each pattern is a Go
+// string literal, double- or backtick-quoted.
+var wantRe = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// Run loads the single package in dir and checks analyzers against its
+// want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	diags := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+
+	matched := map[wantKey][]bool{}
+	for key := range wants {
+		matched[key] = make([]bool, len(wants[key]))
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		claimed := false
+		for i, re := range wants[key] {
+			if matched[key][i] {
+				continue
+			}
+			if re.MatchString(d.Message) {
+				matched[key][i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	var missing []string
+	for key, flags := range matched {
+		for i, ok := range flags {
+			if !ok {
+				missing = append(missing,
+					fmt.Sprintf("%s:%d: no finding matched %q", key.file, key.line, wants[key][i].String()))
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("unmatched want comments:\n%s", strings.Join(missing, "\n"))
+	}
+}

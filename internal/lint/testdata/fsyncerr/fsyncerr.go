@@ -1,0 +1,83 @@
+// Package fsyncerr exercises the durability-error analyzer over the real
+// wal.Log API and os.File write paths.
+package fsyncerr
+
+import (
+	"os"
+
+	"crane/internal/wal"
+)
+
+// DropSync discards a WAL sync result outright.
+func DropSync(l *wal.Log) {
+	l.Sync() // want `wal\.Log\.Sync error dropped`
+}
+
+// BlankAppend discards the append error with a blank identifier.
+func BlankAppend(l *wal.Log, rec wal.Record) {
+	_ = l.Append(rec) // want `wal\.Log\.Append error discarded with _`
+}
+
+// ShadowedAppend overwrites the first append's error before checking it.
+func ShadowedAppend(l *wal.Log, a, b wal.Record) error {
+	err := l.Append(a) // want `wal\.Log\.Append error in err is overwritten at line \d+ before being checked`
+	err = l.Append(b)
+	return err
+}
+
+// NeverChecked leaves the last durability error unread.
+func NeverChecked(l *wal.Log, rec wal.Record) {
+	var err error
+	err = l.Append(rec)
+	if err != nil {
+		return
+	}
+	err = l.Sync() // want `wal\.Log\.Sync error assigned to err but never checked`
+}
+
+// Checked is the correct pattern: no findings.
+func Checked(l *wal.Log, rec wal.Record) error {
+	if err := l.Append(rec); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// WriteFile drops both the sync and the close error on a write path.
+func WriteFile(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Sync()  // want `os\.File\.Sync error dropped`
+	f.Close() // want `os\.File\.Close \(write path\) error dropped`
+	return nil
+}
+
+// DeferredClose defers the close on a write path, silently losing the
+// error.
+func DeferredClose(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred os\.File\.Close \(write path\) drops the error`
+	_, err = f.Write(b)
+	return err
+}
+
+// ReadFile closes on a pure read path: Close errors lose nothing durable,
+// no finding.
+func ReadFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	f.Close()
+	return buf[:n], err
+}

@@ -1,0 +1,46 @@
+// Package obsreg exercises the nil-registry-safe instrumentation check:
+// instruments are created once at setup and observed through nil-safe
+// handle methods, never registered on the observation path.
+package obsreg
+
+import "crane/internal/obs"
+
+// Worker instruments the right way: handles created once, observed
+// everywhere, nil registry degrades to no-ops.
+type Worker struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// NewWorker registers instruments at setup: no findings.
+func NewWorker(reg *obs.Registry) *Worker {
+	return &Worker{
+		requests: reg.Counter("worker_requests_total", "requests handled"),
+		latency:  reg.Histogram("worker_latency_seconds", "request latency"),
+	}
+}
+
+// Handle observes through the pre-created handles: no findings.
+func (w *Worker) Handle() {
+	w.requests.Inc()
+}
+
+// ChainedObserve registers the counter on every observation.
+func ChainedObserve(reg *obs.Registry) {
+	reg.Counter("bad_total", "registered per observation").Inc() // want `Registry\.Counter\(\.\.\.\)\.Inc registers an instrument at observation time`
+}
+
+// LoopRegister re-registers a gauge per iteration.
+func LoopRegister(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		g := reg.Gauge("bad_depth", "registered in a loop") // want `Registry\.Gauge inside a loop re-registers an instrument per iteration`
+		g.Set(int64(i))
+	}
+}
+
+// RangeRegister re-registers per ranged element.
+func RangeRegister(reg *obs.Registry, names []string) {
+	for _, name := range names {
+		reg.Counter(name, "per-element registration").Inc() // want `Registry\.Counter\(\.\.\.\)\.Inc registers an instrument at observation time`
+	}
+}

@@ -417,7 +417,7 @@ func (n *Node) handleCompact(idx uint64) {
 	n.log = append([]LogEntry(nil), n.log[idx-n.base:]...)
 	n.base = idx
 	if n.cfg.Store != nil {
-		n.cfg.Store.CompactBefore(idx + 1)
+		n.cfg.Store.CompactBefore(idx + 1) //crane:fsyncerr-ok compaction is best-effort GC: failure retains extra segments but loses no committed entry
 	}
 }
 

@@ -1,0 +1,32 @@
+// Tier-1 smoke test for the cranevet suite: the repository must stay
+// clean under its own analyzers. A new raw `go`, sync primitive, time
+// read, or dropped durability error anywhere in the tree fails `go test
+// ./...` the same way it fails the dedicated CI step, so the papi
+// discipline cannot regress between lint runs.
+package crane_test
+
+import (
+	"testing"
+
+	"crane/internal/lint"
+)
+
+func TestCranevetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is not short")
+	}
+	pkgs, err := lint.Load(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("cranevet found %d violation(s); fix them or annotate with //crane:<analyzer>-ok <reason>", len(diags))
+	}
+}
