@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,7 +25,23 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: fig14,table1,fig15,fig16,fig17,table2,consistency,election,ablation,observability")
 	runs := flag.Int("consistency-runs", 10, "runs per consistency plan (paper: 100)")
 	obsOut := flag.String("obs-out", "BENCH_observability.json", "where the observability cell writes its report")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			runtime.GC() // flush final allocation stats into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s (inspect with: go tool pprof -alloc_space %s)\n", *memProfile, *memProfile)
+		}()
+	}
 
 	scale := bench.SmallScale
 	if *full {

@@ -12,9 +12,19 @@ import (
 )
 
 // acceptKey is the wait-queue key for threads blocked in accept()/poll()
-// on a port; recvKey for threads blocked in recv() on a connection.
+// on a port; recvKey for threads blocked in recv() on a connection. Both
+// implement dmt.Keyer so socket waits stay on the scheduler's
+// allocation-free wait-queue path; the high bits namespace the two value
+// spaces (ports are small ints, connection ids are a network-wide counter
+// that never approaches 2^62).
 type acceptKey struct{ port int }
 type recvKey struct{ conn uint64 }
+
+// DMTWaitKey implements dmt.Keyer.
+func (k acceptKey) DMTWaitKey() uint64 { return 1<<62 | uint64(k.port) }
+
+// DMTWaitKey implements dmt.Keyer.
+func (k recvKey) DMTWaitKey() uint64 { return 2<<62 | k.conn }
 
 // gate is check_add_timebubble (paper Fig. 10), invoked by the DMT
 // scheduler's token holder at every synchronization operation:

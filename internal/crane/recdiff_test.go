@@ -1,0 +1,82 @@
+package crane
+
+// Schedule-divergence diagnostics, env-gated (CRANE_SCHED_REC=1). When the
+// golden determinism test flakes, this harness re-runs the workload with
+// full schedule recording enabled (see Replica.start) and prints the steps
+// around the first divergent (thread, op) pair — which is how the
+// bubble-vs-connect commit race documented on detClusterConfig was found.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"crane/internal/apps/httpd"
+	"crane/internal/dmt"
+)
+
+func runDetOnceRec(t *testing.T) (sum uint64, rec *dmt.Schedule) {
+	cluster, err := StartCluster(detClusterConfig(), httpd.Program(detHTTPDConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	waitScheduleStable(t, cluster)
+	for i := 0; i < 6; i++ {
+		req := []byte(fmt.Sprintf("GET /page%d.php HTTP/1.0\r\n\r\n", i%2))
+		if _, err := cluster.DialAndRequest(fmt.Sprintf("det:%d", i), 8080, req, 1); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		waitScheduleStable(t, cluster)
+	}
+	r := cluster.Replica(0)
+	return r.pproc.Sched.Stats().ScheduleSum, r.schedRec
+}
+
+func TestSchedDivergenceDebug(t *testing.T) {
+	if os.Getenv("CRANE_SCHED_REC") == "" {
+		t.Skip("set CRANE_SCHED_REC=1 to run")
+	}
+	type run struct {
+		sum uint64
+		rec *dmt.Schedule
+	}
+	var runs []run
+	for i := 0; i < 12; i++ {
+		sum, rec := runDetOnceRec(t)
+		t.Logf("run %d: sum=%#x len=%d", i, sum, rec.Len())
+		runs = append(runs, run{sum, rec})
+		if runs[0].sum != sum {
+			a, b := runs[0].rec, rec
+			n := a.Len()
+			if b.Len() < n {
+				n = b.Len()
+			}
+			div := -1
+			for j := 0; j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				if at != bt || ao != bo {
+					div = j
+					break
+				}
+			}
+			t.Logf("first divergence at step %d (lens %d vs %d)", div, a.Len(), b.Len())
+			lo := div - 25
+			if lo < 0 {
+				lo = 0
+			}
+			for j := lo; j < div+25 && j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				mark := "  "
+				if at != bt || ao != bo {
+					mark = "<<"
+				}
+				t.Logf("step %5d: A=(t%d %c)  B=(t%d %c) %s", j, at, ao, bt, bo, mark)
+			}
+			return
+		}
+	}
+	t.Log("no divergence observed in 12 runs")
+}

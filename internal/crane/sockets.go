@@ -96,15 +96,14 @@ func (c *dmtConn) Recv(t papi.T, buf []byte) (int, error) {
 		return 0, io.EOF
 	}
 	for {
-		data, eof := c.r.sq.ReadData(c.id, len(buf))
+		n, eof := c.r.sq.ReadInto(c.id, buf)
 		if eof {
 			c.eof = true
 			c.r.openConns.Add(-1)
 			th.PutTurn()
 			return 0, io.EOF
 		}
-		if len(data) > 0 {
-			n := copy(buf, data)
+		if n > 0 {
 			th.PutTurn()
 			return n, nil
 		}
@@ -260,15 +259,14 @@ func (c *pumpConn) Recv(t papi.T, buf []byte) (int, error) {
 		if c.p.r.killed() {
 			return 0, ErrKilled
 		}
-		data, eof := c.p.r.sq.ReadData(c.id, len(buf))
+		n, eof := c.p.r.sq.ReadInto(c.id, buf)
 		if eof {
 			c.eof = true
 			c.p.r.openConns.Add(-1)
 			c.p.cond.Broadcast()
 			return 0, io.EOF
 		}
-		if len(data) > 0 {
-			n := copy(buf, data)
+		if n > 0 {
 			c.p.cond.Broadcast()
 			return n, nil
 		}

@@ -22,6 +22,31 @@
 // Gate interface: every wrapper calls the gate after acquiring the turn
 // (paper Fig. 9 line 3 / Fig. 10), which is where time-bubble consumption
 // and deterministic socket admission happen.
+//
+// # Fast path
+//
+// The token moves by direct handoff: the holder finishes its rotation under
+// s.mu, then publishes the grant with a single atomic store into the next
+// head's Thread.tok, poking the wake channel only if that thread has
+// already parked. GetTurn consumes a pending grant with one atomic
+// exchange-shaped pair (load, store) and otherwise spins briefly before
+// parking, so a successor that is already at (or about to reach) its next
+// synchronization never takes the futex-style channel path at all. The
+// store/load pairing with Thread.parked is Dekker-style: the granter stores
+// tok then loads parked, the waiter stores parked then loads tok, so one of
+// them always observes the other and a parked thread cannot miss a grant.
+// None of this changes *which* thread runs next — head selection still
+// happens under s.mu, in exactly the order the original unlock→poke→wake→
+// re-lock→re-check implementation produced — only how the chosen thread
+// learns about it.
+//
+// The run queue is a power-of-two ring buffer: rotation is O(1) with no
+// allocation (the previous append(runq[1:], t) reallocated on every single
+// PutTurn), and positional wake-up insertion keeps byte-for-byte the slice
+// semantics the determinism tests were recorded against. Wait queues are
+// intrusive per-key FIFOs (waitq.go). Counters are mirrored into atomics at
+// each write so Stats/Clock/Killed/RunQueueLen and the obs gauge scrapes
+// never touch s.mu.
 package dmt
 
 import (
@@ -43,7 +68,10 @@ type Gate interface {
 	CheckAdmit(t *Thread)
 }
 
-// Stats is a snapshot of scheduler counters.
+// Stats is a snapshot of scheduler counters. Counters are read from atomic
+// mirrors without taking the scheduler lock, so a snapshot taken while the
+// scheduler runs is monotonic but not a single atomic cut — fine for
+// metrics scrapes; exact cuts are available at quiescence.
 type Stats struct {
 	Clock       uint64 // logical clock: one tick per scheduled op
 	TokenPasses uint64 // put_turn rotations
@@ -55,14 +83,39 @@ type Stats struct {
 
 // Scheduler is a Parrot-style round-robin DMT scheduler.
 type Scheduler struct {
-	mu    sync.Mutex
+	// mu guards the run queue, wait table, reentry queue, barriers, and
+	// record/replay state. The token holder takes it once per scheduled
+	// operation; nothing else takes it on the hot path (stats, clock and
+	// gauge reads are all served by the atomic mirrors below).
+	mu sync.Mutex
+
+	// Run queue: a power-of-two ring. runq[rhead] is the token holder;
+	// rotation and head removal are O(1), positional insertion preserves
+	// the exact semantics of the slice implementation it replaced
+	// (including transiently holding a thread twice when a barrier
+	// self-release races its own WaitOn — see releaseExpiredBarriersLocked).
 	runq  []*Thread
-	waitq map[any][]*Thread
+	rhead int
+	rlen  int
+
+	// Wait table (waitq.go): open-addressing slots of intrusive FIFOs.
+	wslots     []waitSlot
+	wused      int
+	keySeq     uint64
+	internKeys map[any]uint64
+
 	// reentry holds threads returning from *real* (nondeterministic)
 	// blocking socket calls in plain-Parrot mode; the token holder drains
 	// it into the run queue at every rotation (§3.1 "socket queue").
-	reentry []*Thread
+	// Intrusive FIFO through Thread.wnext (a thread is never in a wait
+	// queue and the reentry queue at once).
+	reentryHead *Thread
+	reentryTail *Thread
 
+	// Counters: plain fields written only by the token holder under mu,
+	// each mirrored into an atomic at every write so readers never contend
+	// with the token. (Mirror stores are plain MOVs on amd64 — cheaper than
+	// atomic adds, and single-writer-correct under mu.)
 	clock       uint64
 	tokenPasses uint64
 	waits       uint64
@@ -70,14 +123,19 @@ type Scheduler struct {
 	spawned     uint64
 	schedHash   uint64
 
-	// clockA mirrors clock for lock-free reads (ClockFast): consumers
-	// holding unrelated locks (e.g. the seq consumption hook) can read the
-	// logical clock without risking lock-order inversions against s.mu.
-	clockA atomic.Uint64
-	// turnWait measures the GetTurn slow path (thread parked waiting for
+	clockA       atomic.Uint64
+	tokenPassesA atomic.Uint64
+	waitsA       atomic.Uint64
+	signalsA     atomic.Uint64
+	spawnedA     atomic.Uint64
+	schedHashA   atomic.Uint64
+	runqLenA     atomic.Int64
+	reentryLenA  atomic.Int64
+
+	// turnWait measures the GetTurn park path (thread parked waiting for
 	// the token). Installed by SetObs before Start, nil when off; the idle
 	// thread's parking is excluded (it parks by design whenever any
-	// application thread runs).
+	// application thread runs), and so is time spent in the pre-park spin.
 	turnWait *obs.Histogram
 
 	gate      Gate
@@ -89,7 +147,7 @@ type Scheduler struct {
 	replayErr error
 
 	nextID  int
-	killed  bool
+	killedA atomic.Bool
 	killCh  chan struct{}
 	wg      sync.WaitGroup
 	idle    *Thread
@@ -97,17 +155,20 @@ type Scheduler struct {
 
 	// IdleSleep is how long the idle thread sleeps per rotation when it is
 	// the only runnable thread and nothing needs exhausting. Keeps a quiet
-	// server from burning a core. Zero means 20µs.
+	// server from burning a core. Zero means 50µs.
 	IdleSleep time.Duration
 }
 
 // New creates a scheduler. Call Start before spawning application threads.
 func New() *Scheduler {
-	return &Scheduler{
-		waitq:     make(map[any][]*Thread),
+	s := &Scheduler{
+		runq:      make([]*Thread, 8),
+		wslots:    make([]waitSlot, 32),
 		killCh:    make(chan struct{}),
 		schedHash: 14695981039346656037, // FNV-1a offset basis
 	}
+	s.schedHashA.Store(s.schedHash)
+	return s
 }
 
 // SetGate installs the CRANE admission gate. Must be called before Start.
@@ -115,7 +176,8 @@ func (s *Scheduler) SetGate(g Gate) { s.gate = g }
 
 // SetObs registers scheduler instruments into reg: the turn-wait histogram
 // and gauges over the running counters. Must be called before Start; a nil
-// reg is a no-op.
+// reg is a no-op. The gauges read atomic mirrors, so a /metrics scrape
+// never contends with the scheduler token.
 func (s *Scheduler) SetObs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -126,16 +188,16 @@ func (s *Scheduler) SetObs(reg *obs.Registry) {
 		return float64(s.ClockFast())
 	})
 	reg.GaugeFunc("dmt_token_passes_total", "put_turn rotations", func() float64 {
-		return float64(s.Stats().TokenPasses)
+		return float64(s.tokenPassesA.Load())
 	})
 	reg.GaugeFunc("dmt_waits_total", "wait() calls", func() float64 {
-		return float64(s.Stats().Waits)
+		return float64(s.waitsA.Load())
 	})
 	reg.GaugeFunc("dmt_signals_total", "signal/broadcast wake-ups delivered", func() float64 {
-		return float64(s.Stats().Signals)
+		return float64(s.signalsA.Load())
 	})
 	reg.GaugeFunc("dmt_threads_spawned_total", "application threads created", func() float64 {
-		return float64(s.Stats().Spawned)
+		return float64(s.spawnedA.Load())
 	})
 	reg.GaugeFunc("dmt_runq_len", "current run-queue length", func() float64 {
 		return float64(s.RunQueueLen())
@@ -175,21 +237,21 @@ func (s *Scheduler) Kill() {
 // killLocked tears the scheduler down; caller holds s.mu. Pokes are
 // non-blocking sends, safe under the lock.
 func (s *Scheduler) killLocked() {
-	if s.killed {
+	if !s.killedA.CompareAndSwap(false, true) {
 		return
 	}
-	s.killed = true
+	s.pubLocked()
 	close(s.killCh)
-	for _, t := range s.runq {
-		t.poke()
+	for i := 0; i < s.rlen; i++ {
+		s.runqAt(i).poke()
 	}
-	for _, q := range s.waitq {
-		for _, t := range q {
-			t.poke()
+	for i := range s.wslots {
+		for w := s.wslots[i].head; w != nil; w = w.wnext {
+			w.poke()
 		}
 	}
-	for _, t := range s.reentry {
-		t.poke()
+	for w := s.reentryHead; w != nil; w = w.wnext {
+		w.poke()
 	}
 }
 
@@ -197,32 +259,26 @@ func (s *Scheduler) killLocked() {
 func (s *Scheduler) Join() { s.wg.Wait() }
 
 // Killed reports whether Kill has been called.
-func (s *Scheduler) Killed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.killed
-}
+func (s *Scheduler) Killed() bool { return s.killedA.Load() }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters (lock-free; see Stats type doc).
 func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Stats{
-		Clock:       s.clock,
-		TokenPasses: s.tokenPasses,
-		Waits:       s.waits,
-		Signals:     s.signals,
-		Spawned:     s.spawned,
-		ScheduleSum: s.schedHash,
+		Clock:       s.clockA.Load(),
+		TokenPasses: s.tokenPassesA.Load(),
+		Waits:       s.waitsA.Load(),
+		Signals:     s.signalsA.Load(),
+		Spawned:     s.spawnedA.Load(),
+		ScheduleSum: s.schedHashA.Load(),
 	}
 }
 
-// Clock returns the current logical clock.
-func (s *Scheduler) Clock() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.clock
-}
+// Clock returns the current logical clock (lock-free).
+func (s *Scheduler) Clock() uint64 { return s.clockA.Load() }
+
+// RunQueueLen returns the current run-queue length (diagnostics,
+// lock-free).
+func (s *Scheduler) RunQueueLen() int { return int(s.runqLenA.Load()) }
 
 // Thread is a scheduled thread. All scheduled operations are methods on
 // the thread so the scheduler knows the caller's identity.
@@ -233,6 +289,23 @@ type Thread struct {
 	wake   chan struct{}
 	done   bool // set during exit, read under s.mu
 	isIdle bool
+
+	// wnext links the intrusive wait-queue / reentry FIFO this thread is
+	// blocked on, if any. Guarded by s.mu. A thread is in at most one such
+	// queue at a time (WaitOn blocks until the thread is signaled out).
+	wnext *Thread
+
+	// tok is the direct-handoff mailbox: 1 means the token has been granted
+	// to this thread and its next GetTurn returns after consuming it.
+	// Written by the granter (atomic store) and the consumer (store 0).
+	tok atomic.Uint32
+	// parked is 1 while the thread is (about to be) blocked on its wake
+	// channel inside GetTurn. Granters poke the channel only when set.
+	parked atomic.Uint32
+	// selfTok marks a token granted by the thread's own PutTurn (it was the
+	// only runnable thread, so the token comes straight back). Only ever
+	// read and written by the owning thread, hence plain.
+	selfTok bool
 }
 
 // ID returns the deterministic thread id (creation order).
@@ -255,6 +328,105 @@ func (t *Thread) poke() {
 	}
 }
 
+// grant hands the token to t: one atomic store plus a channel poke only if
+// t has parked (or is committed to parking — see the Dekker note on the
+// package doc). Safe with or without s.mu held; at most one grant is ever
+// outstanding per thread because only the head is granted and a thread
+// re-enters head position only after consuming the previous grant.
+func (s *Scheduler) grant(t *Thread) {
+	t.tok.Store(1)
+	if t.parked.Load() != 0 {
+		t.poke()
+	}
+}
+
+// Run-queue ring primitives. All require s.mu.
+
+func (s *Scheduler) runqAt(i int) *Thread {
+	return s.runq[(s.rhead+i)&(len(s.runq)-1)]
+}
+
+func (s *Scheduler) runqSet(i int, t *Thread) {
+	s.runq[(s.rhead+i)&(len(s.runq)-1)] = t
+}
+
+func (s *Scheduler) runqGrowLocked() {
+	old := s.runq
+	grown := make([]*Thread, len(old)*2)
+	for i := 0; i < s.rlen; i++ {
+		grown[i] = old[(s.rhead+i)&(len(old)-1)]
+	}
+	s.runq = grown
+	s.rhead = 0
+}
+
+func (s *Scheduler) runqPushBackLocked(t *Thread) {
+	if s.rlen == len(s.runq) {
+		s.runqGrowLocked()
+	}
+	s.runqSet(s.rlen, t)
+	s.rlen++
+	s.runqLenA.Store(int64(s.rlen))
+}
+
+func (s *Scheduler) runqPopFrontLocked() {
+	s.runq[s.rhead] = nil
+	s.rhead = (s.rhead + 1) & (len(s.runq) - 1)
+	s.rlen--
+	s.runqLenA.Store(int64(s.rlen))
+}
+
+// runqRotateLocked moves the head to the tail in O(1) — the whole "rotate
+// caller to tail" step of put_turn, which previously reallocated the run
+// queue on every single pass.
+func (s *Scheduler) runqRotateLocked() {
+	t := s.runq[s.rhead]
+	target := (s.rhead + s.rlen) & (len(s.runq) - 1)
+	s.runq[target] = t
+	if target != s.rhead {
+		s.runq[s.rhead] = nil
+	}
+	s.rhead = (s.rhead + 1) & (len(s.runq) - 1)
+}
+
+// runqInsertLocked inserts w at position pos (>=1) in the run queue,
+// clamped to the tail — identical clamping to the slice version. Inserting
+// into an empty queue makes w the head and grants it the token.
+func (s *Scheduler) runqInsertLocked(w *Thread, pos int) {
+	if pos > s.rlen {
+		pos = s.rlen
+	}
+	if pos < 1 {
+		pos = 1
+	}
+	if s.rlen == 0 {
+		s.runqPushBackLocked(w)
+		s.grant(w)
+		return
+	}
+	if s.rlen == len(s.runq) {
+		s.runqGrowLocked()
+	}
+	for i := s.rlen; i > pos; i-- {
+		s.runqSet(i, s.runqAt(i-1))
+	}
+	s.runqSet(pos, w)
+	s.rlen++
+	s.runqLenA.Store(int64(s.rlen))
+}
+
+// runqMoveToFrontLocked promotes position i to the head (replay reorder).
+func (s *Scheduler) runqMoveToFrontLocked(i int) {
+	if i == 0 {
+		return
+	}
+	th := s.runqAt(i)
+	for j := i; j > 0; j-- {
+		s.runqSet(j, s.runqAt(j-1))
+	}
+	s.runq[s.rhead] = th
+}
+
 // Spawn creates a thread running fn and schedules it at the tail of the
 // run queue. Spawn is itself a scheduled operation when called from a
 // scheduled thread (parent); the root call (from ordinary Go code, parent
@@ -272,7 +444,7 @@ func (s *Scheduler) Spawn(parent *Thread, name string, fn func(*Thread)) *Thread
 
 func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 	s.mu.Lock()
-	if s.killed {
+	if s.killedA.Load() {
 		s.mu.Unlock()
 		return nil
 	}
@@ -280,16 +452,13 @@ func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 	s.nextID++
 	if !isIdle {
 		s.spawned++
+		s.spawnedA.Store(s.spawned)
 	}
-	wasEmpty := len(s.runq) == 0
-	s.runq = append(s.runq, t)
-	var head *Thread
-	if wasEmpty {
-		head = t
-	}
+	wasEmpty := s.rlen == 0
+	s.runqPushBackLocked(t)
 	s.mu.Unlock()
-	if head != nil {
-		head.poke()
+	if wasEmpty {
+		s.grant(t)
 	}
 	s.wg.Add(1)
 	go func() {
@@ -307,34 +476,75 @@ func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 	return t
 }
 
-// GetTurn blocks until t holds the global token (is the run-queue head).
-// If the token is already parked on t, it returns immediately.
+// tokenSpin bounds the pre-park spin in GetTurn: long enough to catch a
+// grant from a holder mid-rotation (a few hundred ns away), short enough
+// that a thread with no imminent grant parks quickly.
+const tokenSpin = 128
+
+// spinnable gates the pre-park spin: on a single-P runtime the granter
+// cannot make progress while we spin, so park immediately.
+var spinnable = runtime.GOMAXPROCS(0) > 1
+
+// GetTurn blocks until t holds the global token. If the token has already
+// been handed to t, it returns after a single atomic exchange; otherwise it
+// spins briefly for an imminent grant and then parks on the wake channel.
 func (t *Thread) GetTurn() {
 	s := t.s
-	var waitStart time.Time
-	for {
-		s.mu.Lock()
-		if s.killed {
-			s.mu.Unlock()
+	if t.selfTok {
+		t.selfTok = false
+		if s.killedA.Load() {
 			panic(killedPanic{})
 		}
-		if len(s.runq) > 0 && s.runq[0] == t {
-			s.mu.Unlock()
-			if !waitStart.IsZero() {
-				s.turnWait.Since(waitStart)
-			}
-			return
+		return
+	}
+	if t.tok.Load() != 0 {
+		t.tok.Store(0)
+		if s.killedA.Load() {
+			panic(killedPanic{})
 		}
-		s.mu.Unlock()
-		// Slow path: about to park. Timed only here, so the fast path
-		// (already at head) costs nothing with instrumentation off or on.
-		if s.turnWait != nil && !t.isIdle && waitStart.IsZero() {
-			waitStart = time.Now()
+		return
+	}
+	if s.killedA.Load() {
+		panic(killedPanic{})
+	}
+	if spinnable {
+		for i := 0; i < tokenSpin; i++ {
+			if t.tok.Load() != 0 {
+				t.tok.Store(0)
+				if s.killedA.Load() {
+					panic(killedPanic{})
+				}
+				return
+			}
+			if i&15 == 15 {
+				runtime.Gosched()
+			}
+		}
+	}
+	// Park path. Timed only here, so the handoff fast path costs nothing
+	// with instrumentation off or on.
+	var waitStart time.Time
+	if s.turnWait != nil && !t.isIdle {
+		waitStart = time.Now()
+	}
+	t.parked.Store(1)
+	for t.tok.Load() == 0 {
+		if s.killedA.Load() {
+			t.parked.Store(0)
+			panic(killedPanic{})
 		}
 		select {
 		case <-t.wake:
 		case <-s.killCh:
 		}
+	}
+	t.parked.Store(0)
+	t.tok.Store(0)
+	if s.killedA.Load() {
+		panic(killedPanic{})
+	}
+	if !waitStart.IsZero() {
+		s.turnWait.Since(waitStart)
 	}
 }
 
@@ -348,29 +558,34 @@ func (t *Thread) Admit() {
 
 // PutTurn completes a scheduled operation: ticks the logical clock,
 // releases expired soft barriers, drains the reentry queue, rotates the
-// caller to the tail, and wakes the new head.
+// caller to the tail, and hands the token to the new head.
 func (t *Thread) PutTurn() {
 	s := t.s
 	s.mu.Lock()
-	if s.killed {
+	if s.killedA.Load() {
 		s.mu.Unlock()
 		panic(killedPanic{})
 	}
-	if len(s.runq) == 0 || s.runq[0] != t {
+	if s.rlen == 0 || s.runq[s.rhead] != t {
 		s.mu.Unlock()
 		panic(fmt.Sprintf("dmt: PutTurn by non-head thread %d (%s)", t.id, t.name))
 	}
 	s.tickLocked(t, 'P')
 	s.drainReentryLocked()
 	s.releaseExpiredBarriersLocked()
-	s.runq = append(s.runq[1:], t)
+	s.runqRotateLocked()
 	s.replayReorderLocked()
 	s.tokenPasses++
-	head := s.runq[0]
-	s.mu.Unlock()
-	if head != t {
-		head.poke()
+	head := s.runq[s.rhead]
+	if head == t {
+		// Sole runnable thread: the token comes straight back. A plain
+		// flag only ever touched by t itself replaces the atomic grant.
+		t.selfTok = true
+		s.mu.Unlock()
+		return
 	}
+	s.mu.Unlock()
+	s.grant(head)
 }
 
 // tickLocked advances the logical clock and folds (thread, op) into the
@@ -379,12 +594,19 @@ func (t *Thread) PutTurn() {
 // timing-dependent (which is harmless — nothing runnable can observe them),
 // while application threads' operations are always in deterministic
 // rotation order.
+//
+// Only the clock mirror is published per tick (ClockFast must be exact —
+// the seq consumption hook and observers stamp events with it). The other
+// mirrors are refreshed by pubLocked at schedule boundaries and every 32nd
+// tick: each atomic store is a full fence on amd64, and three of them per
+// token pass was the single largest cost of the handoff fast path.
 func (s *Scheduler) tickLocked(t *Thread, op byte) {
 	s.clock++
 	s.clockA.Store(s.clock)
 	s.recordLocked(t, op)
 	s.replayAdvanceLocked(t, op)
 	if t.isIdle {
+		s.pubLocked()
 		return
 	}
 	h := s.schedHash
@@ -393,6 +615,23 @@ func (s *Scheduler) tickLocked(t *Thread, op byte) {
 	h ^= uint64(op)
 	h *= 1099511628211
 	s.schedHash = h
+	if s.clock&31 == 0 {
+		s.pubLocked()
+	}
+}
+
+// pubLocked refreshes the lock-free counter mirrors from the plain fields.
+// Called with s.mu held: on every idle-thread tick (so a quiet scheduler's
+// metrics are always current), every 32nd tick of a busy one, and at every
+// boundary after which a thread stops producing ticks (WaitOn, Exit,
+// BlockingEnter, Kill). A reader that observes a thread parked therefore
+// observes every operation that parked it; mid-run gauge scrapes may lag by
+// a bounded handful of ops, which metrics tolerate by design.
+func (s *Scheduler) pubLocked() {
+	s.schedHashA.Store(s.schedHash)
+	s.tokenPassesA.Store(s.tokenPasses)
+	s.waitsA.Store(s.waits)
+	s.signalsA.Store(s.signals)
 }
 
 // WaitOn moves the caller (which must hold the token) to the wait queue of
@@ -402,31 +641,37 @@ func (s *Scheduler) tickLocked(t *Thread, op byte) {
 func (t *Thread) WaitOn(key any) {
 	s := t.s
 	s.mu.Lock()
-	if s.killed {
+	if s.killedA.Load() {
 		s.mu.Unlock()
 		panic(killedPanic{})
 	}
-	if len(s.runq) == 0 || s.runq[0] != t {
+	if s.rlen == 0 || s.runq[s.rhead] != t {
 		s.mu.Unlock()
 		panic(fmt.Sprintf("dmt: WaitOn by non-head thread %d (%s)", t.id, t.name))
 	}
 	s.waits++
 	s.tickLocked(t, 'W')
-	s.waitq[key] = append(s.waitq[key], t)
+	s.waitPushLocked(s.keyOfLocked(key), t)
 	s.drainReentryLocked()
+	// A barrier expiring on this very tick may pop t right back out of the
+	// wait queue and re-insert it after the head — the head being t itself,
+	// still at the front until the removal below. The ring then transiently
+	// holds t twice and the front removal keeps the re-inserted copy,
+	// exactly as the slice implementation did.
 	s.releaseExpiredBarriersLocked()
-	s.runq = s.runq[1:]
+	s.runqPopFrontLocked()
 	s.replayReorderLocked()
 	s.tokenPasses++
+	s.pubLocked() // t stops ticking until signaled: publish its last op
 	var head *Thread
-	if len(s.runq) > 0 {
-		head = s.runq[0]
+	if s.rlen > 0 {
+		head = s.runq[s.rhead]
 	}
 	s.mu.Unlock()
 	if head != nil {
-		head.poke()
+		s.grant(head)
 	}
-	t.GetTurn() // blocks until signaled back in and at head
+	t.GetTurn() // blocks until signaled back in and granted
 }
 
 // SignalKey wakes the first waiter on key, inserting it right after the
@@ -437,21 +682,15 @@ func (t *Thread) SignalKey(key any) bool {
 	s := t.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.signalOneLocked(t, key)
+	return s.signalOneLocked(key)
 }
 
-func (s *Scheduler) signalOneLocked(t *Thread, key any) bool {
-	q := s.waitq[key]
-	if len(q) == 0 {
+func (s *Scheduler) signalOneLocked(key any) bool {
+	w := s.waitPopLocked(s.keyOfLocked(key))
+	if w == nil {
 		return false
 	}
-	w := q[0]
-	if len(q) == 1 {
-		delete(s.waitq, key)
-	} else {
-		s.waitq[key] = q[1:]
-	}
-	s.insertAfterHeadLocked(w, 1)
+	s.runqInsertLocked(w, 1)
 	s.signals++
 	return true
 }
@@ -462,16 +701,18 @@ func (t *Thread) BroadcastKey(key any) int {
 	s := t.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q := s.waitq[key]
-	if len(q) == 0 {
-		return 0
+	n := 0
+	for w := s.waitTakeLocked(s.keyOfLocked(key)); w != nil; {
+		next := w.wnext
+		w.wnext = nil
+		s.runqInsertLocked(w, 1+n)
+		n++
+		w = next
 	}
-	delete(s.waitq, key)
-	for i, w := range q {
-		s.insertAfterHeadLocked(w, 1+i)
+	if n > 0 {
+		s.signals += uint64(n)
 	}
-	s.signals += uint64(len(q))
-	return len(q)
+	return n
 }
 
 // HasWaiter reports whether any thread waits on key. Caller must hold the
@@ -480,27 +721,7 @@ func (t *Thread) HasWaiter(key any) bool {
 	s := t.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.waitq[key]) > 0
-}
-
-// insertAfterHeadLocked inserts w at position pos (>=1) in the run queue,
-// clamped to the tail.
-func (s *Scheduler) insertAfterHeadLocked(w *Thread, pos int) {
-	if pos > len(s.runq) {
-		pos = len(s.runq)
-	}
-	if pos < 1 {
-		pos = 1
-	}
-	if len(s.runq) == 0 {
-		s.runq = []*Thread{w}
-		// Becomes the head immediately; wake it.
-		w.poke()
-		return
-	}
-	s.runq = append(s.runq, nil)
-	copy(s.runq[pos+1:], s.runq[pos:])
-	s.runq[pos] = w
+	return s.waitHasLocked(s.keyOfLocked(key))
 }
 
 // Exit is the scheduled operation that removes the caller from the
@@ -511,30 +732,36 @@ func (t *Thread) Exit() {
 	t.observe(EvThreadExit, nil)
 	s := t.s
 	s.mu.Lock()
-	if len(s.runq) == 0 || s.runq[0] != t {
+	if s.rlen == 0 || s.runq[s.rhead] != t {
 		s.mu.Unlock()
 		panic("dmt: Exit by non-head thread")
 	}
 	s.tickLocked(t, 'X')
 	t.done = true
 	// Wake joiners.
-	q := s.waitq[joinKey{t}]
-	delete(s.waitq, joinKey{t})
-	for i, w := range q {
-		s.insertAfterHeadLocked(w, 1+i)
+	n := 0
+	for w := s.waitTakeLocked(waitKey{tagJoin, uint64(t.id)}); w != nil; {
+		next := w.wnext
+		w.wnext = nil
+		s.runqInsertLocked(w, 1+n)
+		n++
+		w = next
 	}
-	s.signals += uint64(len(q))
+	if n > 0 {
+		s.signals += uint64(n)
+	}
 	s.drainReentryLocked()
 	s.releaseExpiredBarriersLocked()
-	s.runq = s.runq[1:]
+	s.runqPopFrontLocked()
 	s.replayReorderLocked()
+	s.pubLocked() // t is gone: its counters must be visible to Stats readers
 	var head *Thread
-	if len(s.runq) > 0 {
-		head = s.runq[0]
+	if s.rlen > 0 {
+		head = s.runq[s.rhead]
 	}
 	s.mu.Unlock()
 	if head != nil {
-		head.poke()
+		s.grant(head)
 	}
 }
 
@@ -562,23 +789,24 @@ func (t *Thread) BlockingEnter() {
 	t.Admit()
 	s := t.s
 	s.mu.Lock()
-	if s.killed {
+	if s.killedA.Load() {
 		s.mu.Unlock()
 		panic(killedPanic{})
 	}
 	s.tickLocked(t, 'B')
 	s.drainReentryLocked()
 	s.releaseExpiredBarriersLocked()
-	s.runq = s.runq[1:]
+	s.runqPopFrontLocked()
 	s.replayReorderLocked()
 	s.tokenPasses++
+	s.pubLocked() // t leaves the scheduled world: publish its last op
 	var head *Thread
-	if len(s.runq) > 0 {
-		head = s.runq[0]
+	if s.rlen > 0 {
+		head = s.runq[s.rhead]
 	}
 	s.mu.Unlock()
 	if head != nil {
-		head.poke()
+		s.grant(head)
 	}
 }
 
@@ -589,22 +817,35 @@ func (t *Thread) BlockingEnter() {
 func (t *Thread) BlockingExit() {
 	s := t.s
 	s.mu.Lock()
-	if s.killed {
+	if s.killedA.Load() {
 		s.mu.Unlock()
 		panic(killedPanic{})
 	}
-	s.reentry = append(s.reentry, t)
+	t.wnext = nil
+	if s.reentryTail == nil {
+		s.reentryHead, s.reentryTail = t, t
+	} else {
+		s.reentryTail.wnext = t
+		s.reentryTail = t
+	}
+	s.reentryLenA.Add(1)
 	s.mu.Unlock()
 	t.GetTurn()
 	t.PutTurn()
 }
 
 func (s *Scheduler) drainReentryLocked() {
-	if len(s.reentry) == 0 {
+	if s.reentryHead == nil {
 		return
 	}
-	s.runq = append(s.runq, s.reentry...)
-	s.reentry = nil
+	for w := s.reentryHead; w != nil; {
+		next := w.wnext
+		w.wnext = nil
+		s.runqPushBackLocked(w)
+		w = next
+	}
+	s.reentryHead, s.reentryTail = nil, nil
+	s.reentryLenA.Store(0)
 }
 
 // idleLoop keeps the run queue non-empty and the clock ticking (§3.1).
@@ -620,14 +861,11 @@ func (s *Scheduler) idleLoop(t *Thread) {
 	for {
 		t.GetTurn()
 		t.Admit()
-		s.mu.Lock()
-		if s.killed {
-			s.mu.Unlock()
+		if s.killedA.Load() {
 			panic(killedPanic{})
 		}
-		alone := len(s.runq) == 1 && len(s.reentry) == 0
+		alone := s.runqLenA.Load() == 1 && s.reentryLenA.Load() == 0
 		busy := s.gate != nil && gateBusy(s.gate)
-		s.mu.Unlock()
 		t.PutTurn()
 		if alone && !busy {
 			busySpins = 0
@@ -663,11 +901,4 @@ func gateBusy(g Gate) bool {
 		return b.Busy()
 	}
 	return false
-}
-
-// RunQueueLen returns the current run-queue length (diagnostics).
-func (s *Scheduler) RunQueueLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.runq)
 }

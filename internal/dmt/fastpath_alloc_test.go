@@ -1,0 +1,64 @@
+package dmt
+
+import "testing"
+
+// TestTokenHandoffAllocFree pins the fast path's allocation-free
+// guarantee: an uncontended GetTurn/PutTurn round trip — the floor every
+// scheduled operation pays — must not allocate.
+func TestTokenHandoffAllocFree(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	var perOp float64
+	s.Spawn(nil, "handoff", func(th *Thread) {
+		perOp = testing.AllocsPerRun(500, func() {
+			th.GetTurn()
+			th.PutTurn()
+		})
+		close(done)
+	})
+	<-done
+	s.Kill()
+	s.Join()
+	if perOp != 0 {
+		t.Errorf("token handoff: %v allocs/op, want 0", perOp)
+	}
+}
+
+// TestWaitSignalAllocFree pins the intrusive wait queues' guarantee: a
+// full wait/signal ping-pong — SignalKey, WaitOn, and the token handoffs
+// between two threads — must not allocate. The peer loops until Kill
+// unwinds it, so both sides of every measured iteration run the same
+// allocation-free path.
+func TestWaitSignalAllocFree(t *testing.T) {
+	s := New()
+	ka, kb := new(Cond), new(Cond)
+	done := make(chan struct{})
+	var perOp float64
+	s.Spawn(nil, "pinger", func(th *Thread) {
+		perOp = testing.AllocsPerRun(200, func() {
+			th.GetTurn()
+			th.SignalKey(kb)
+			th.WaitOn(ka)
+			th.PutTurn()
+		})
+		// Release the peer's final WaitOn so it parks on kb, not mid-op.
+		th.GetTurn()
+		th.SignalKey(kb)
+		th.PutTurn()
+		close(done)
+	})
+	s.Spawn(nil, "ponger", func(th *Thread) {
+		for {
+			th.GetTurn()
+			th.SignalKey(ka)
+			th.WaitOn(kb)
+			th.PutTurn()
+		}
+	})
+	<-done
+	s.Kill()
+	s.Join()
+	if perOp != 0 {
+		t.Errorf("wait/signal ping-pong: %v allocs/op, want 0", perOp)
+	}
+}

@@ -1,0 +1,114 @@
+package dmt
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkTokenHandoff measures the raw uncontended scheduled-operation
+// round trip — GetTurn immediately followed by PutTurn on a scheduler whose
+// run queue holds only the caller. This is the floor every wrapper in
+// sync.go pays twice per operation, and the primary target of the direct
+// token handoff: no other thread is involved, so the whole cost is queue
+// rotation, clock tick, and token transfer back to self.
+func BenchmarkTokenHandoff(b *testing.B) {
+	s := New()
+	done := make(chan struct{})
+	b.ReportAllocs()
+	s.Spawn(nil, "bench", func(th *Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.GetTurn()
+			th.PutTurn()
+		}
+		close(done)
+	})
+	<-done
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}
+
+// BenchmarkWaitSignal measures a full deterministic wait/signal ping-pong
+// between two threads using the raw wait-queue primitives: each iteration
+// is one SignalKey (wake the peer), one WaitOn (park until the peer's
+// signal), and the token handoffs between them. With intrusive wait queues
+// this path must not allocate.
+func BenchmarkWaitSignal(b *testing.B) {
+	s := New()
+	ka, kb := new(Cond), new(Cond)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Spawn(nil, "a", func(th *Thread) {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			th.GetTurn()
+			th.SignalKey(kb)
+			th.WaitOn(ka)
+			th.PutTurn()
+		}
+		// Release the peer's final WaitOn.
+		th.GetTurn()
+		th.SignalKey(kb)
+		th.PutTurn()
+	})
+	s.Spawn(nil, "b", func(th *Thread) {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			th.GetTurn()
+			th.SignalKey(ka)
+			th.WaitOn(kb)
+			th.PutTurn()
+		}
+		th.GetTurn()
+		th.SignalKey(ka)
+		th.PutTurn()
+	})
+	wg.Wait()
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}
+
+// BenchmarkBroadcastFanout measures BroadcastKey waking a group of waiters
+// (the RWMutex/Cond broadcast shape): 4 waiters park on one key, a fifth
+// thread broadcasts, everyone re-parks.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	s := New()
+	var m Mutex
+	var c Cond
+	const waiters = 4
+	gen := 0
+	var wg sync.WaitGroup
+	wg.Add(waiters + 1)
+	b.ResetTimer()
+	for i := 0; i < waiters; i++ {
+		s.Spawn(nil, "w", func(th *Thread) {
+			defer wg.Done()
+			seen := 0
+			th.Lock(&m)
+			for seen < b.N {
+				for gen <= seen {
+					th.CondWait(&c, &m)
+				}
+				seen = gen
+			}
+			th.Unlock(&m)
+		})
+	}
+	s.Spawn(nil, "caster", func(th *Thread) {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			th.Lock(&m)
+			gen++
+			th.Unlock(&m)
+			th.CondBroadcast(&c)
+		}
+	})
+	wg.Wait()
+	b.StopTimer()
+	s.Kill()
+	s.Join()
+}

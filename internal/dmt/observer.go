@@ -61,8 +61,5 @@ func (t *Thread) observe(kind EventKind, obj any) {
 	if s.observer == nil {
 		return
 	}
-	s.mu.Lock()
-	clock := s.clock
-	s.mu.Unlock()
-	s.observer(Event{Kind: kind, Thread: t.id, Name: t.name, Object: obj, Clock: clock})
+	s.observer(Event{Kind: kind, Thread: t.id, Name: t.name, Object: obj, Clock: s.clockA.Load()})
 }

@@ -94,24 +94,18 @@ func (s *Scheduler) replayReorderLocked() {
 	}
 	want, _ := s.replay.Step(s.replayPos)
 	// Find the scripted thread in the run queue and move it to the front.
-	for i, th := range s.runq {
-		if th.id == want {
-			if i != 0 {
-				copy(s.runq[1:i+1], s.runq[:i])
-				s.runq[0] = th
-			}
+	for i := 0; i < s.rlen; i++ {
+		if s.runqAt(i).id == want {
+			s.runqMoveToFrontLocked(i)
 			return
 		}
 	}
 	// Not runnable: either it is the idle thread's turn in the original
 	// (excluded from scripts) or the program diverged. Let the idle thread
 	// run if present — its operations do not consume script positions.
-	for i, th := range s.runq {
-		if th.isIdle {
-			if i != 0 {
-				copy(s.runq[1:i+1], s.runq[:i])
-				s.runq[0] = th
-			}
+	for i := 0; i < s.rlen; i++ {
+		if s.runqAt(i).isIdle {
+			s.runqMoveToFrontLocked(i)
 			return
 		}
 	}

@@ -19,6 +19,7 @@ package dmt
 type Mutex struct {
 	locked bool
 	owner  *Thread
+	wkey   uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // Lock acquires m, blocking deterministically (Fig. 9's try-lock loop:
@@ -67,11 +68,13 @@ func (t *Thread) Unlock(m *Mutex) {
 // Cond is a deterministic condition variable (pthread_cond_t). The
 // associated mutex is passed to Wait, as in pthreads.
 //
-// The padding byte is load-bearing: wait-queue keys are the objects'
-// addresses, and Go gives every zero-size allocation the same address —
-// an empty struct here would alias every condition variable in the
-// process onto one wait queue.
-type Cond struct{ _ byte }
+// The non-zero size is load-bearing independently of the wait-table id:
+// Go gives every zero-size allocation the same address, so an empty struct
+// here would make distinct heap-allocated condition variables compare
+// equal and alias onto one wait queue.
+type Cond struct {
+	wkey uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
+}
 
 // CondWait atomically releases m and blocks on c; on wake-up it
 // re-acquires m before returning (pthread_cond_wait).
@@ -121,6 +124,7 @@ func (t *Thread) CondBroadcast(c *Cond) {
 type RWMutex struct {
 	readers int
 	writer  bool
+	wkey    uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // RLock acquires a read lock.
@@ -189,6 +193,7 @@ type SoftBarrier struct {
 	timeout  uint64 // ticks
 	arrived  int
 	deadline uint64 // clock value at which the current group releases
+	wkey     uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // NewSoftBarrier creates a soft barrier for groups of n threads with the
@@ -247,6 +252,11 @@ func (s *Scheduler) resetBarrierLocked(sb *SoftBarrier) {
 // releaseExpiredBarriersLocked releases any barrier whose deadline tick
 // has passed. Called by the token holder on every tick, so the release
 // point in the global schedule is deterministic. Caller holds s.mu.
+//
+// Release runs inside the current op's critical section, before the ticking
+// thread leaves the head slot — so when the ticking op is itself a WaitOn
+// on the expiring barrier, the waiter being released is the current head
+// and runqInsertLocked transiently duplicates it (see WaitOn).
 func (s *Scheduler) releaseExpiredBarriersLocked() {
 	if len(s.barriers) == 0 {
 		return
@@ -256,12 +266,18 @@ func (s *Scheduler) releaseExpiredBarriersLocked() {
 		if sb.arrived > 0 && s.clock >= sb.deadline {
 			sb.arrived = 0
 			s.barriers = append(s.barriers[:i], s.barriers[i+1:]...)
-			q := s.waitq[sb]
-			delete(s.waitq, sb)
-			for j, w := range q {
-				s.insertAfterHeadLocked(w, 1+j)
+			n := 0
+			for w := s.waitTakeLocked(s.keyOfLocked(sb)); w != nil; {
+				next := w.wnext
+				w.wnext = nil
+				s.runqInsertLocked(w, 1+n)
+				n++
+				w = next
 			}
-			s.signals += uint64(len(q))
+			if n > 0 {
+				s.signals += uint64(n)
+				s.signalsA.Store(s.signals)
+			}
 			continue
 		}
 		i++

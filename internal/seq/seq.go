@@ -141,6 +141,11 @@ func Decode(b []byte) (*Entry, error) {
 	return e, nil
 }
 
+// DecodeInto deserializes an entry into caller-provided storage — the
+// scratch-reuse form of Decode for delivery loops that arena-allocate
+// their entries. On error e is left in an unspecified state.
+func DecodeInto(e *Entry, b []byte) error { return e.unmarshal(b) }
+
 // EncodeBatch serializes a burst of entries into per-entry consensus
 // payloads sharing one backing allocation — the marshaling primitive for
 // ProposeBatch (no per-entry encoder or buffer churn).
@@ -176,10 +181,14 @@ func DecodeBatch(payloads [][]byte) ([]*Entry, error) {
 	return out, nil
 }
 
-// Sequence is the ordered, shared queue of decided entries.
+// Sequence is the ordered, shared queue of decided entries. The queue is
+// a compacting head-indexed slice: consumption advances head instead of
+// re-slicing, so the backing array is reused across bursts rather than
+// growing behind a dead prefix.
 type Sequence struct {
 	mu      sync.Mutex
 	entries []*Entry
+	head    int // index of the first pending entry in entries
 	// lastDrain is when the queue last transitioned to empty (or was
 	// created); the bubbling component compares it against Wtimeout.
 	lastDrain time.Time
@@ -255,28 +264,34 @@ func (s *Sequence) Enqueue(e *Entry) {
 	}
 }
 
+// pendingLocked returns the number of pending entries; headLocked the
+// first pending entry. Called with s.mu held.
+func (s *Sequence) pendingLocked() int { return len(s.entries) - s.head }
+
+func (s *Sequence) headLocked() *Entry { return s.entries[s.head] }
+
 // Empty reports whether no entry is pending.
 func (s *Sequence) Empty() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.entries) == 0
+	return s.pendingLocked() == 0
 }
 
 // Len returns the number of pending entries.
 func (s *Sequence) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.entries)
+	return s.pendingLocked()
 }
 
 // Head returns a copy of the head entry without consuming it.
 func (s *Sequence) Head() (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.entries) == 0 {
+	if s.pendingLocked() == 0 {
 		return Entry{}, false
 	}
-	return *s.entries[0], true
+	return *s.headLocked(), true
 }
 
 // EmptyFor reports whether the sequence has been continuously empty for at
@@ -284,7 +299,7 @@ func (s *Sequence) Head() (Entry, bool) {
 func (s *Sequence) EmptyFor(d time.Duration) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.entries) == 0 && time.Since(s.lastDrain) >= d
+	return s.pendingLocked() == 0 && time.Since(s.lastDrain) >= d
 }
 
 // TickBubble consumes one logical clock from the head bubble, removing it
@@ -293,10 +308,10 @@ func (s *Sequence) EmptyFor(d time.Duration) bool {
 func (s *Sequence) TickBubble() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.entries) == 0 || s.entries[0].Kind != KindBubble {
+	if s.pendingLocked() == 0 || s.headLocked().Kind != KindBubble {
 		return false
 	}
-	e := s.entries[0]
+	e := s.headLocked()
 	if e.NClock > 0 {
 		e.NClock--
 		s.bubbleClocks++
@@ -312,10 +327,10 @@ func (s *Sequence) TickBubble() bool {
 func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.entries) == 0 || s.entries[0].Kind != KindConnect {
+	if s.pendingLocked() == 0 || s.headLocked().Kind != KindConnect {
 		return 0, 0, false
 	}
-	e := s.entries[0]
+	e := s.headLocked()
 	s.popLocked()
 	s.consumedCalls++
 	return e.Conn, e.Port, true
@@ -327,34 +342,43 @@ func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
 // entry. If the head is a CLOSE for conn and no bytes were read, it
 // consumes the CLOSE and reports EOF.
 func (s *Sequence) ReadData(conn uint64, max int) (data []byte, eof bool) {
+	buf := make([]byte, max)
+	n, eof := s.ReadInto(conn, buf)
+	if n == 0 {
+		return nil, eof
+	}
+	return buf[:n], eof
+}
+
+// ReadInto is the scratch-free form of ReadData: it copies head SEND bytes
+// for conn directly into b, returning the byte count. The socket wrappers
+// recv() through this so the data path does not allocate per call.
+func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for max > 0 && len(s.entries) > 0 {
-		e := s.entries[0]
+	for n < len(b) && s.pendingLocked() > 0 {
+		e := s.headLocked()
 		if e.Kind != KindSend || e.Conn != conn {
 			break
 		}
-		n := len(e.Data)
-		if n > max {
-			n = max
+		c := copy(b[n:], e.Data)
+		n += c
+		e.Data = e.Data[c:]
+		if len(e.Data) != 0 {
+			break
 		}
-		data = append(data, e.Data[:n]...)
-		e.Data = e.Data[n:]
-		max -= n
-		if len(e.Data) == 0 {
-			s.popLocked()
-			s.consumedCalls++
-		}
+		s.popLocked()
+		s.consumedCalls++
 	}
-	if len(data) == 0 && len(s.entries) > 0 {
-		e := s.entries[0]
+	if n == 0 && s.pendingLocked() > 0 {
+		e := s.headLocked()
 		if e.Kind == KindClose && e.Conn == conn {
 			s.popLocked()
 			s.consumedCalls++
-			return nil, true
+			return 0, true
 		}
 	}
-	return data, false
+	return n, false
 }
 
 // PopIfConn discards a head SEND/CLOSE entry belonging to conn. Used to
@@ -363,10 +387,10 @@ func (s *Sequence) ReadData(conn uint64, max int) (data []byte, eof bool) {
 func (s *Sequence) PopIfConn(conn uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.entries) == 0 {
+	if s.pendingLocked() == 0 {
 		return false
 	}
-	e := s.entries[0]
+	e := s.headLocked()
 	if (e.Kind != KindSend && e.Kind != KindClose) || e.Conn != conn {
 		return false
 	}
@@ -376,11 +400,25 @@ func (s *Sequence) PopIfConn(conn uint64) bool {
 }
 
 func (s *Sequence) popLocked() {
-	e := s.entries[0]
-	s.entries[0] = nil
-	s.entries = s.entries[1:]
-	if len(s.entries) == 0 {
+	e := s.entries[s.head]
+	s.entries[s.head] = nil
+	s.head++
+	if s.head == len(s.entries) {
+		// Drained: rewind onto the same backing array so the next burst
+		// appends without growing.
+		s.entries = s.entries[:0]
+		s.head = 0
 		s.lastDrain = time.Now()
+	} else if s.head >= 32 && s.head*2 >= len(s.entries) {
+		// Compact once the consumed prefix dominates, capping growth of
+		// the dead prefix under a standing backlog.
+		live := copy(s.entries, s.entries[s.head:])
+		clearTail := s.entries[live:]
+		for i := range clearTail {
+			clearTail[i] = nil
+		}
+		s.entries = s.entries[:live]
+		s.head = 0
 	}
 	if e.Kind != KindBubble {
 		if s.queueWait != nil && !e.enqueuedAt.IsZero() {
@@ -413,7 +451,7 @@ func (s *Sequence) Stats() Stats {
 		ClientCalls:  s.clientCalls,
 		BubbleClocks: s.bubbleClocks,
 		Consumed:     s.consumedCalls,
-		Pending:      len(s.entries),
+		Pending:      s.pendingLocked(),
 		PayloadBytes: s.payloadBytes,
 	}
 }

@@ -1,0 +1,53 @@
+package simnet
+
+import "testing"
+
+// TestPipeSteadyStateAllocFree pins the pipe's steady-state guarantee:
+// once the freelist is warm, a write/read round trip recycles its payload
+// buffer and segment slot instead of allocating.
+func TestPipeSteadyStateAllocFree(t *testing.T) {
+	client, server := benchPairT(t)
+	defer client.Close()
+	defer server.Close()
+	msg := make([]byte, 128)
+	buf := make([]byte, 256)
+	// Warm the freelist.
+	for i := 0; i < 4; i++ {
+		if _, err := client.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOp := testing.AllocsPerRun(500, func() {
+		if _, err := client.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perOp != 0 {
+		t.Errorf("pipe write/read: %v allocs/op, want 0", perOp)
+	}
+}
+
+// benchPairT is benchPair for tests.
+func benchPairT(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	n := New(Options{})
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := n.Dial("cli:0", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}

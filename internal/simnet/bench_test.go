@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// benchPair dials a connected client/server pair on a zero-latency network
+// (latency off so the benchmark times the pipe data path, not sleeps).
+func benchPair(b *testing.B, opts Options) (*Conn, *Conn) {
+	b.Helper()
+	n := New(opts)
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := n.Dial("cli:0", "srv:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client, server
+}
+
+// BenchmarkPipeWriteRead measures a same-goroutine write-then-read round
+// trip of a small request-sized payload: the per-segment cost of the pipe
+// (buffer handling, delivery bookkeeping, reader copy).
+func BenchmarkPipeWriteRead(b *testing.B) {
+	client, server := benchPair(b, Options{})
+	defer client.Close()
+	defer server.Close()
+	msg := make([]byte, 128)
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeBurstRead measures vectored draining: 8 small writes then
+// reads until drained, the proxy's burst-forwarding shape.
+func BenchmarkPipeBurstRead(b *testing.B) {
+	client, server := benchPair(b, Options{})
+	defer client.Close()
+	defer server.Close()
+	msg := make([]byte, 64)
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			if _, err := client.Write(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		got := 0
+		for got < 8*len(msg) {
+			n, err := server.Read(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += n
+		}
+	}
+}
+
+// BenchmarkPipeLatencyWriteRead exercises the delayed-delivery path (timer
+// arming and deliverability rechecks) with a small one-way latency.
+func BenchmarkPipeLatencyWriteRead(b *testing.B) {
+	client, server := benchPair(b, Options{Latency: 20 * time.Microsecond})
+	defer client.Close()
+	defer server.Close()
+	msg := make([]byte, 128)
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

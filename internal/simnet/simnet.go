@@ -232,18 +232,29 @@ func (l *Listener) Close() error {
 }
 
 // pipe is one direction of a connection: a queue of segments that become
-// readable at their delivery time.
+// readable at their delivery time. The hot path is allocation-free in
+// steady state: payload buffers cycle through a per-pipe freelist, the
+// segment queue is a compacting slice reused across bursts, and delivery
+// wake-ups share a single resettable timer instead of a time.AfterFunc
+// per write and per wait.
 type pipe struct {
 	net    *Network
 	mu     sync.Mutex
 	cond   *sync.Cond
 	segs   []segment
-	closed bool // write end closed
-	broken bool // read end closed (writes fail)
+	head   int      // index of the first unread segment in segs
+	free   [][]byte // recycled payload buffers
+	closed bool     // write end closed
+	broken bool     // read end closed (writes fail)
+	timer  *time.Timer
+	// timerAt is the pending shot time; zero when no shot is scheduled.
+	// Guarded by mu, like everything above.
+	timerAt time.Time
 }
 
 type segment struct {
-	data []byte
+	data []byte // unread window into buf
+	buf  []byte // whole payload buffer, recycled once data drains
 	at   time.Time
 }
 
@@ -251,6 +262,33 @@ func newPipe(n *Network) *pipe {
 	p := &pipe{net: n}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// maxFreeBufs bounds the per-pipe freelist so one burst cannot pin
+// buffers forever.
+const maxFreeBufs = 32
+
+// getBufLocked returns a payload buffer of length n, reusing a freelist
+// entry when one is large enough.
+func (p *pipe) getBufLocked(n int) []byte {
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			b := p.free[i][:n]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+func (p *pipe) putBufLocked(b []byte) {
+	if cap(b) == 0 || len(p.free) >= maxFreeBufs {
+		return
+	}
+	p.free = append(p.free, b[:0])
 }
 
 func (n *Network) delay() time.Duration {
@@ -275,18 +313,14 @@ func (p *pipe) write(b []byte) (int, error) {
 	if p.broken {
 		return 0, io.ErrClosedPipe
 	}
-	data := make([]byte, len(b))
-	copy(data, b)
-	seg := segment{data: data, at: time.Now().Add(p.net.delay())}
-	p.segs = append(p.segs, seg)
+	buf := p.getBufLocked(len(b))
+	copy(buf, b)
+	at := time.Now().Add(p.net.delay())
+	p.segs = append(p.segs, segment{data: buf, buf: buf, at: at})
 	p.cond.Broadcast()
 	// Wake the reader again once the segment becomes deliverable.
-	if d := time.Until(seg.at); d > 0 {
-		time.AfterFunc(d, func() {
-			p.mu.Lock()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-		})
+	if time.Until(at) > 0 {
+		p.armTimerLocked(at)
 	}
 	return len(b), nil
 }
@@ -297,17 +331,8 @@ func (p *pipe) read(b []byte, deadline time.Time) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
-		if len(p.segs) > 0 {
-			now := time.Now()
-			if !p.segs[0].at.After(now) {
-				seg := &p.segs[0]
-				n := copy(b, seg.data)
-				seg.data = seg.data[n:]
-				if len(seg.data) == 0 {
-					p.segs = p.segs[1:]
-				}
-				return n, nil
-			}
+		if n := p.copyDeliverableLocked(b); n > 0 {
+			return n, nil
 		}
 		if p.closed && !p.deliverablePending() {
 			return 0, io.EOF
@@ -327,36 +352,96 @@ var errTimeout = errors.New("simnet: read timeout")
 // IsTimeout reports whether err is a read-deadline expiry.
 func IsTimeout(err error) bool { return errors.Is(err, errTimeout) }
 
+// copyDeliverableLocked gathers bytes from as many already-deliverable
+// segments as fit into b — a vectored read, so one wake-up drains a whole
+// burst. Fully consumed segments return their buffers to the freelist.
+// Called with p.mu held.
+func (p *pipe) copyDeliverableLocked(b []byte) int {
+	n := 0
+	var now time.Time
+	for n < len(b) && p.head < len(p.segs) {
+		seg := &p.segs[p.head]
+		if now.IsZero() {
+			now = time.Now()
+		}
+		if seg.at.After(now) {
+			break
+		}
+		c := copy(b[n:], seg.data)
+		n += c
+		seg.data = seg.data[c:]
+		if len(seg.data) != 0 {
+			break
+		}
+		p.putBufLocked(seg.buf)
+		seg.data, seg.buf = nil, nil
+		p.head++
+	}
+	p.compactLocked()
+	return n
+}
+
+// compactLocked slides the live tail of segs to the front once the
+// consumed prefix dominates, so the backing array is reused by later
+// appends instead of growing behind a dead prefix. Called with p.mu held.
+func (p *pipe) compactLocked() {
+	if p.head < 16 || p.head*2 < len(p.segs) {
+		return
+	}
+	live := copy(p.segs, p.segs[p.head:])
+	clearTail := p.segs[live:]
+	for i := range clearTail {
+		clearTail[i] = segment{}
+	}
+	p.segs = p.segs[:live]
+	p.head = 0
+}
+
 // deliverablePending reports whether any segment exists at all (delivered
 // or still in flight). Called with p.mu held.
-func (p *pipe) deliverablePending() bool { return len(p.segs) > 0 }
+func (p *pipe) deliverablePending() bool { return p.head < len(p.segs) }
 
-// waitWake waits on the cond, but with a cap so in-flight segment delivery
-// times and deadlines are rechecked. Called with p.mu held.
+// armTimerLocked schedules a broadcast at time at on the pipe's single
+// shared timer, re-arming only when at precedes the pending shot. Spurious
+// wake-ups are harmless — waiters recheck deliverability — so the races
+// between Reset and an in-flight fire need no further coordination.
+// Called with p.mu held.
+func (p *pipe) armTimerLocked(at time.Time) {
+	if !p.timerAt.IsZero() && !at.Before(p.timerAt) {
+		return
+	}
+	d := time.Until(at)
+	if d < 20*time.Microsecond {
+		d = 20 * time.Microsecond
+	}
+	p.timerAt = at
+	if p.timer == nil {
+		p.timer = time.AfterFunc(d, p.timerFire)
+		return
+	}
+	p.timer.Reset(d)
+}
+
+func (p *pipe) timerFire() {
+	p.mu.Lock()
+	p.timerAt = time.Time{}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// waitWake waits on the cond, arming the shared timer so in-flight segment
+// delivery times and deadlines are rechecked. Called with p.mu held.
 func (p *pipe) waitWake(deadline time.Time) {
 	// Compute the nearest wake-up: next segment delivery or deadline.
-	var until time.Duration = -1
-	if len(p.segs) > 0 {
-		until = time.Until(p.segs[0].at)
+	var at time.Time
+	if p.head < len(p.segs) {
+		at = p.segs[p.head].at
 	}
-	if !deadline.IsZero() {
-		d := time.Until(deadline)
-		if until < 0 || d < until {
-			until = d
-		}
+	if !deadline.IsZero() && (at.IsZero() || deadline.Before(at)) {
+		at = deadline
 	}
-	if until >= 0 {
-		if until < 20*time.Microsecond {
-			until = 20 * time.Microsecond
-		}
-		t := time.AfterFunc(until, func() {
-			p.mu.Lock()
-			p.cond.Broadcast()
-			p.mu.Unlock()
-		})
-		p.cond.Wait()
-		t.Stop()
-		return
+	if !at.IsZero() {
+		p.armTimerLocked(at)
 	}
 	p.cond.Wait()
 }
@@ -372,6 +457,8 @@ func (p *pipe) closeRead() {
 	p.mu.Lock()
 	p.broken = true
 	p.segs = nil
+	p.head = 0
+	p.free = nil
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -449,10 +536,10 @@ func (c *Conn) SetReadDeadline(t time.Time) {
 func (c *Conn) Readable() bool {
 	c.r.mu.Lock()
 	defer c.r.mu.Unlock()
-	if len(c.r.segs) > 0 && !c.r.segs[0].at.After(time.Now()) {
+	if c.r.deliverablePending() && !c.r.segs[c.r.head].at.After(time.Now()) {
 		return true
 	}
-	return c.r.closed && len(c.r.segs) == 0
+	return c.r.closed && !c.r.deliverablePending()
 }
 
 // Close shuts down both directions. The peer's reads see EOF after
