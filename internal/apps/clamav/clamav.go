@@ -61,6 +61,11 @@ func Program(cfg Config) papi.Program {
 		New: func(fs *cfs.FS) papi.Instance {
 			return New(cfg, fs)
 		},
+		// A scan request is a self-contained unit: its jobs, result
+		// gathering, and report never touch another request's state (file
+		// deletions are idempotent and path-disjoint in practice). Lanes
+		// partition whole requests, connection-round-robin.
+		Conflict: &papi.ConflictMap{},
 	}
 }
 
@@ -153,50 +158,126 @@ type scanResults struct {
 	scanned int
 }
 
+// laneCtx is one lane's complete private machinery: job queue, connection
+// queue, and their locks. With lanes, clamd partitions entirely — nothing
+// is shared across lanes (the lane argument -1 means single-lane, where
+// sync objects are created unbound exactly as before).
+type laneCtx struct {
+	lane   int
+	jobs   []scanJob
+	jobMu  papi.Mutex
+	jobCv  papi.Cond
+	connCh []papi.Conn
+	cMu    papi.Mutex
+	cCv    papi.Cond
+}
+
 // Run implements papi.Instance.
 func (s *Server) Run(t papi.T) {
 	l, err := t.Listen(s.cfg.Port)
 	if err != nil {
 		return
 	}
-	var (
-		jobs   []scanJob
-		jobMu  = t.NewMutex()
-		jobCv  = t.NewCond()
-		connCh []papi.Conn
-		cMu    = t.NewMutex()
-		cCv    = t.NewCond()
-	)
+	if t.Lanes() > 1 {
+		s.runLanes(t, l)
+		return
+	}
+	lc := &laneCtx{
+		lane:  -1,
+		jobMu: t.NewMutex(),
+		jobCv: t.NewCond(),
+		cMu:   t.NewMutex(),
+		cCv:   t.NewCond(),
+	}
 	// Scanner pool: files from all in-flight requests scan in parallel.
 	for i := 0; i < s.cfg.Scanners; i++ {
 		t.Spawn(fmt.Sprintf("scanner%d", i), func(wt papi.T) {
-			for !wt.Killed() {
-				jobMu.Lock(wt)
-				for len(jobs) == 0 {
-					jobCv.Wait(wt, jobMu)
-				}
-				job := jobs[0]
-				jobs = jobs[1:]
-				jobMu.Unlock(wt)
-				s.scanFile(wt, job)
-			}
+			s.scannerLoop(wt, lc)
 		})
 	}
 	// Handler threads: one connection at a time each.
 	for i := 0; i < s.cfg.Handlers; i++ {
 		t.Spawn(fmt.Sprintf("handler%d", i), func(wt papi.T) {
-			for !wt.Killed() {
-				cMu.Lock(wt)
-				for len(connCh) == 0 {
-					cCv.Wait(wt, cMu)
-				}
-				c := connCh[0]
-				connCh = connCh[1:]
-				cMu.Unlock(wt)
-				s.serveConn(wt, c, &jobs, jobMu, jobCv)
-			}
+			s.handlerLoop(wt, lc)
 		})
 	}
+	s.acceptLoop(t, l, lc)
+}
+
+// runLanes partitions the daemon completely: each lane has its own
+// acceptor, handler share, scanner share, job queue, and connection queue.
+// Scan requests never leave their lane.
+//
+// Each lane is built by its own lane-main thread (the bootstrap discipline
+// cross-lane spawns require): the lane main creates the lane's queues and
+// pools with in-lane spawns, then becomes the lane's acceptor.
+func (s *Server) runLanes(t papi.T, l papi.Listener) {
+	lanes := t.Lanes()
+	share := func(total, lane int) int {
+		n := total / lanes
+		if lane < total%lanes {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	laneMain := func(lt papi.T, lane int) {
+		lc := &laneCtx{
+			lane:  lane,
+			jobMu: lt.NewMutexLane(lane),
+			jobCv: lt.NewCondLane(lane),
+			cMu:   lt.NewMutexLane(lane),
+			cCv:   lt.NewCondLane(lane),
+		}
+		for i := 0; i < share(s.cfg.Scanners, lane); i++ {
+			lt.Spawn(fmt.Sprintf("lane%d-scanner%d", lane, i), func(wt papi.T) {
+				s.scannerLoop(wt, lc)
+			})
+		}
+		for i := 0; i < share(s.cfg.Handlers, lane); i++ {
+			lt.Spawn(fmt.Sprintf("lane%d-handler%d", lane, i), func(wt papi.T) {
+				s.handlerLoop(wt, lc)
+			})
+		}
+		s.acceptLoop(lt, l, lc)
+	}
+	for lane := 1; lane < lanes; lane++ {
+		t.SpawnLane(lane, fmt.Sprintf("lane%d-main", lane), func(bt papi.T) {
+			laneMain(bt, lane)
+		})
+	}
+	laneMain(t, 0)
+}
+
+func (s *Server) scannerLoop(t papi.T, lc *laneCtx) {
+	for !t.Killed() {
+		lc.jobMu.Lock(t)
+		for len(lc.jobs) == 0 {
+			lc.jobCv.Wait(t, lc.jobMu)
+		}
+		job := lc.jobs[0]
+		lc.jobs = lc.jobs[1:]
+		lc.jobMu.Unlock(t)
+		s.scanFile(t, job)
+	}
+}
+
+func (s *Server) handlerLoop(t papi.T, lc *laneCtx) {
+	for !t.Killed() {
+		lc.cMu.Lock(t)
+		for len(lc.connCh) == 0 {
+			lc.cCv.Wait(t, lc.cMu)
+		}
+		c := lc.connCh[0]
+		lc.connCh = lc.connCh[1:]
+		lc.cMu.Unlock(t)
+		s.serveConn(t, c, lc)
+	}
+}
+
+func (s *Server) acceptLoop(t papi.T, l papi.Listener, lc *laneCtx) {
 	for !t.Killed() {
 		if !l.Poll(t, 50*time.Millisecond) {
 			continue
@@ -205,14 +286,14 @@ func (s *Server) Run(t papi.T) {
 		if err != nil {
 			return
 		}
-		cMu.Lock(t)
-		connCh = append(connCh, c)
-		cMu.Unlock(t)
-		cCv.Signal(t)
+		lc.cMu.Lock(t)
+		lc.connCh = append(lc.connCh, c)
+		lc.cMu.Unlock(t)
+		lc.cCv.Signal(t)
 	}
 }
 
-func (s *Server) serveConn(t papi.T, c papi.Conn, jobs *[]scanJob, jobMu papi.Mutex, jobCv papi.Cond) {
+func (s *Server) serveConn(t papi.T, c papi.Conn, lc *laneCtx) {
 	defer c.Close(t)
 	var acc []byte
 	buf := make([]byte, 512)
@@ -239,7 +320,7 @@ func (s *Server) serveConn(t papi.T, c papi.Conn, jobs *[]scanJob, jobMu papi.Mu
 				c.Send(t, []byte("ERROR: missing path\n"))
 				continue
 			}
-			s.scanTree(t, c, parts[1], jobs, jobMu, jobCv)
+			s.scanTree(t, c, parts[1], lc)
 		case "RELOAD":
 			// Re-read the signature database from the container fs.
 			n := s.reloadDB(t)
@@ -257,19 +338,25 @@ func (s *Server) serveConn(t papi.T, c papi.Conn, jobs *[]scanJob, jobMu papi.Mu
 
 // scanTree fans the files under root out to the scanner pool, waits for
 // completion, and streams the report.
-func (s *Server) scanTree(t papi.T, c papi.Conn, root string, jobs *[]scanJob, jobMu papi.Mutex, jobCv papi.Cond) {
+func (s *Server) scanTree(t papi.T, c papi.Conn, root string, lc *laneCtx) {
 	files := s.fs.List(root)
-	res := &scanResults{mu: t.NewMutex(), cond: t.NewCond(), pending: len(files)}
+	res := &scanResults{pending: len(files)}
+	if lc.lane >= 0 {
+		// The request and its scan jobs live entirely on this lane.
+		res.mu, res.cond = t.NewMutexLane(lc.lane), t.NewCondLane(lc.lane)
+	} else {
+		res.mu, res.cond = t.NewMutex(), t.NewCond()
+	}
 	if len(files) == 0 {
 		c.Send(t, []byte(root+": no files\nSCAN SUMMARY: scanned 0 infected 0\n"))
 		return
 	}
-	jobMu.Lock(t)
+	lc.jobMu.Lock(t)
 	for _, f := range files {
-		*jobs = append(*jobs, scanJob{path: f, results: res})
+		lc.jobs = append(lc.jobs, scanJob{path: f, results: res})
 	}
-	jobMu.Unlock(t)
-	jobCv.Broadcast(t)
+	lc.jobMu.Unlock(t)
+	lc.jobCv.Broadcast(t)
 
 	res.mu.Lock(t)
 	for res.pending > 0 {

@@ -87,6 +87,11 @@ func Program(cfg Config) papi.Program {
 		New: func(fs *cfs.FS) papi.Instance {
 			return New(cfg, fs)
 		},
+		// Static GETs on disjoint paths commute (the cache is the one piece
+		// of shared state, and it is guarded by a cross-lane mutex), so
+		// connections can be partitioned round-robin across lanes: the
+		// default ConnLane router (connID % lanes) is exactly that.
+		Conflict: &papi.ConflictMap{},
 	}
 }
 
@@ -155,8 +160,15 @@ func (s *Server) Served() uint64 {
 	return s.served
 }
 
-// Run implements papi.Instance: the paper's Fig. 2 structure.
+// Run implements papi.Instance: the paper's Fig. 2 structure. With more
+// than one execution lane it switches to the partitioned structure of
+// runLanes; the single-lane body below is byte-for-byte the pre-lane
+// server, so 1-lane schedules are unchanged.
 func (s *Server) Run(t papi.T) {
+	if t.Lanes() > 1 {
+		s.runLanes(t)
+		return
+	}
 	l, err := t.Listen(s.cfg.Port)
 	if err != nil {
 		return
@@ -196,6 +208,95 @@ func (s *Server) Run(t papi.T) {
 		worklist = append(worklist, c)
 		wlMu.Unlock(t)
 		wlCond.Signal(t)
+	}
+}
+
+// laneState is one lane's private accept/dispatch machinery: its own
+// worklist, worklist lock and cond, allocator lock, and soft barrier. Only
+// pageMu (cache and filesystem mutations) is shared across lanes.
+type laneState struct {
+	worklist []papi.Conn
+	wlMu     papi.Mutex
+	wlCond   papi.Cond
+	allocMu  papi.Mutex
+	hint     papi.Barrier
+}
+
+// runLanes is the conflict-partitioned structure: connections are routed
+// to lanes by the conflict map (round-robin on connection id), and each
+// lane runs an independent copy of Fig. 2 — one acceptor plus a share of
+// the worker pool, all lane-bound. Lanes only meet at pageMu, the
+// cross-lane mutex guarding the page cache and document-root writes.
+//
+// Each lane is built by its own lane-main thread (the bootstrap discipline
+// cross-lane spawns require): the lane main creates the lane's sync
+// objects and worker pool with in-lane spawns — all scheduled operations
+// of the lane itself, hence replica-deterministic — then becomes the
+// lane's acceptor. Lane L's acceptor only ever sees lane L's CONNECTs
+// (the gate routes them by the conflict map).
+func (s *Server) runLanes(t papi.T) {
+	l, err := t.Listen(s.cfg.Port)
+	if err != nil {
+		return
+	}
+	lanes := t.Lanes()
+	pageMu := t.NewMutex() // cross-lane: request-processing lock (Fig. 2 line 19)
+	laneMain := func(lt papi.T, lane int) {
+		ls := &laneState{
+			wlMu:    lt.NewMutexLane(lane),
+			wlCond:  lt.NewCondLane(lane),
+			allocMu: lt.NewMutexLane(lane),
+		}
+		if s.cfg.UseHints {
+			group := s.cfg.HintGroup
+			if group <= 0 {
+				group = s.workersFor(lane, lanes)
+			}
+			// Per-lane barrier id: a soft barrier binds to the lane of its
+			// first arrival, so each lane lines up its own interpretations.
+			ls.hint = lt.SoftBarrier(fmt.Sprintf("php%d", lane), group, 60)
+		}
+		for i := 0; i < s.workersFor(lane, lanes); i++ {
+			lt.Spawn(fmt.Sprintf("lane%d-worker%d", lane, i), func(wt papi.T) {
+				s.worker(wt, &ls.worklist, ls.wlMu, ls.wlCond, pageMu, ls.allocMu, ls.hint)
+			})
+		}
+		s.acceptLoop(lt, l, ls)
+	}
+	for lane := 1; lane < lanes; lane++ {
+		t.SpawnLane(lane, fmt.Sprintf("lane%d-main", lane), func(bt papi.T) {
+			laneMain(bt, lane)
+		})
+	}
+	laneMain(t, 0)
+}
+
+// workersFor splits cfg.Workers across lanes, remainder to the low lanes,
+// at least one worker per lane.
+func (s *Server) workersFor(lane, lanes int) int {
+	n := s.cfg.Workers / lanes
+	if lane < s.cfg.Workers%lanes {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s *Server) acceptLoop(t papi.T, l papi.Listener, ls *laneState) {
+	for !t.Killed() {
+		if !l.Poll(t, 50*time.Millisecond) {
+			continue
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		ls.wlMu.Lock(t)
+		ls.worklist = append(ls.worklist, c)
+		ls.wlMu.Unlock(t)
+		ls.wlCond.Signal(t)
 	}
 }
 
@@ -274,13 +375,19 @@ func (s *Server) handle(t papi.T, req *httpkit.Request, pageMu, allocMu papi.Mut
 		} else {
 			body = src
 		}
-		pageMu.Lock(t)
-		if s.cfg.CacheEnabled {
-			s.stateMu.Lock()
-			s.cache[file] = body
-			s.stateMu.Unlock()
+		// With the cache off there is nothing shared to publish; skipping
+		// the (cross-lane) pageMu lets disjoint-path GETs on different
+		// lanes complete without ever synchronizing. Single-lane keeps the
+		// lock pair so pre-lane schedules are unchanged.
+		if s.cfg.CacheEnabled || t.Lanes() == 1 {
+			pageMu.Lock(t)
+			if s.cfg.CacheEnabled {
+				s.stateMu.Lock()
+				s.cache[file] = body
+				s.stateMu.Unlock()
+			}
+			pageMu.Unlock(t)
 		}
-		pageMu.Unlock(t)
 		return &httpkit.Response{Status: 200, Body: body}
 	case "PUT":
 		pageMu.Lock(t)

@@ -72,6 +72,11 @@ func Program(cfg Config) papi.Program {
 		New: func(fs *cfs.FS) papi.Instance {
 			return New(cfg, fs)
 		},
+		// No Conflict declaration: transcoding sessions share the library
+		// database too intimately to partition safely. An undeclared
+		// program always runs single-lane (Program.EffectiveLanes clamps
+		// any requested lane count to 1), so its schedules are bit-for-bit
+		// the pre-lane ones — the migration path for unported servers.
 	}
 }
 

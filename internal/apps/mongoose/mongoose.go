@@ -64,6 +64,11 @@ func Program(cfg Config) papi.Program {
 		New: func(fs *cfs.FS) papi.Instance {
 			return New(cfg, fs)
 		},
+		// Mongoose pins each connection to one worker, so requests on
+		// different connections only conflict through document-root writes
+		// (guarded by the cross-lane dispatch mutex): connections partition
+		// cleanly across lanes with the default connID%lanes router.
+		Conflict: &papi.ConflictMap{},
 	}
 }
 
@@ -121,8 +126,14 @@ type mailbox struct {
 	queue []papi.Conn
 }
 
-// Run implements papi.Instance.
+// Run implements papi.Instance. Multi-lane configurations switch to the
+// partitioned structure of runLanes; the single-lane body below is the
+// pre-lane server unchanged.
 func (s *Server) Run(t papi.T) {
+	if t.Lanes() > 1 {
+		s.runLanes(t)
+		return
+	}
 	l, err := t.Listen(s.cfg.Port)
 	if err != nil {
 		return
@@ -143,18 +154,79 @@ func (s *Server) Run(t papi.T) {
 	for i := 0; i < s.cfg.Workers; i++ {
 		box := boxes[i]
 		t.Spawn(fmt.Sprintf("mg-worker%d", i), func(wt papi.T) {
-			for !wt.Killed() {
-				box.mu.Lock(wt)
-				for len(box.queue) == 0 {
-					box.cond.Wait(wt, box.mu)
-				}
-				c := box.queue[0]
-				box.queue = box.queue[1:]
-				box.mu.Unlock(wt)
-				s.serveConn(wt, c, dispatchMu, hint)
-			}
+			s.workerLoop(wt, box, dispatchMu, dispatchMu, hint)
 		})
 	}
+	s.acceptLoop(t, l, boxes, dispatchMu)
+}
+
+// runLanes is the conflict-partitioned structure: each lane gets its own
+// acceptor, a share of the worker pool with per-worker mailboxes, its own
+// scripting-engine lock, and its own soft barrier. Lanes only meet at the
+// cross-lane dispatch mutex, which multi-lane configurations take solely
+// for document-root writes (PUT/DELETE).
+//
+// Each lane is built by its own lane-main thread (the bootstrap discipline
+// cross-lane spawns require): the lane main creates the lane's mailboxes
+// and worker pool with in-lane spawns, then becomes the lane's acceptor.
+func (s *Server) runLanes(t papi.T) {
+	l, err := t.Listen(s.cfg.Port)
+	if err != nil {
+		return
+	}
+	lanes := t.Lanes()
+	dispatchMu := t.NewMutex() // cross-lane: document-root writes
+	laneMain := func(lt papi.T, lane int) {
+		workers := s.cfg.Workers / lanes
+		if lane < s.cfg.Workers%lanes {
+			workers++
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		engineMu := lt.NewMutexLane(lane)
+		var hint papi.Barrier
+		if s.cfg.UseHints {
+			group := s.cfg.HintGroup
+			if group <= 0 {
+				group = workers
+			}
+			hint = lt.SoftBarrier(fmt.Sprintf("script%d", lane), group, 60)
+		}
+		boxes := make([]*mailbox, workers)
+		for i := range boxes {
+			boxes[i] = &mailbox{mu: lt.NewMutexLane(lane), cond: lt.NewCondLane(lane)}
+		}
+		for i := 0; i < workers; i++ {
+			box := boxes[i]
+			lt.Spawn(fmt.Sprintf("lane%d-mg-worker%d", lane, i), func(wt papi.T) {
+				s.workerLoop(wt, box, dispatchMu, engineMu, hint)
+			})
+		}
+		s.acceptLoop(lt, l, boxes, dispatchMu)
+	}
+	for lane := 1; lane < lanes; lane++ {
+		t.SpawnLane(lane, fmt.Sprintf("lane%d-mg-main", lane), func(bt papi.T) {
+			laneMain(bt, lane)
+		})
+	}
+	laneMain(t, 0)
+}
+
+func (s *Server) workerLoop(t papi.T, box *mailbox, dispatchMu, engineMu papi.Mutex, hint papi.Barrier) {
+	for !t.Killed() {
+		box.mu.Lock(t)
+		for len(box.queue) == 0 {
+			box.cond.Wait(t, box.mu)
+		}
+		c := box.queue[0]
+		box.queue = box.queue[1:]
+		box.mu.Unlock(t)
+		s.serveConn(t, c, dispatchMu, engineMu, hint)
+	}
+}
+
+func (s *Server) acceptLoop(t papi.T, l papi.Listener, boxes []*mailbox, dispatchMu papi.Mutex) {
 	next := 0
 	for !t.Killed() {
 		if !l.Poll(t, 50*time.Millisecond) {
@@ -173,7 +245,7 @@ func (s *Server) Run(t papi.T) {
 	}
 }
 
-func (s *Server) serveConn(t papi.T, c papi.Conn, dispatchMu papi.Mutex, hint papi.Barrier) {
+func (s *Server) serveConn(t papi.T, c papi.Conn, dispatchMu, engineMu papi.Mutex, hint papi.Barrier) {
 	defer c.Close(t)
 	r := httpkit.NewReader(t, c)
 	for {
@@ -181,7 +253,7 @@ func (s *Server) serveConn(t papi.T, c papi.Conn, dispatchMu papi.Mutex, hint pa
 		if err != nil {
 			return
 		}
-		resp := s.handle(t, req, dispatchMu, hint)
+		resp := s.handle(t, req, dispatchMu, engineMu, hint)
 		if err := resp.Write(t, c, "crane-mongoose/6.x", s.cfg.WithDate); err != nil {
 			return
 		}
@@ -195,7 +267,7 @@ func (s *Server) serveConn(t papi.T, c papi.Conn, dispatchMu papi.Mutex, hint pa
 	}
 }
 
-func (s *Server) handle(t papi.T, req *httpkit.Request, dispatchMu papi.Mutex, hint papi.Barrier) *httpkit.Response {
+func (s *Server) handle(t papi.T, req *httpkit.Request, dispatchMu, engineMu papi.Mutex, hint papi.Barrier) *httpkit.Response {
 	path := strings.TrimPrefix(req.Path, "/")
 	if path == "" {
 		path = "index.html"
@@ -203,14 +275,22 @@ func (s *Server) handle(t papi.T, req *httpkit.Request, dispatchMu papi.Mutex, h
 	file := "www/" + path
 	switch req.Method {
 	case "GET":
-		dispatchMu.Lock(t)
+		// Multi-lane GETs read the (internally synchronized) filesystem
+		// without the cross-lane dispatch lock: reads on different lanes
+		// commute. Single-lane keeps the lock pair, preserving pre-lane
+		// schedules.
+		if t.Lanes() == 1 {
+			dispatchMu.Lock(t)
+		}
 		src, ok := s.fs.Read(file)
-		dispatchMu.Unlock(t)
+		if t.Lanes() == 1 {
+			dispatchMu.Unlock(t)
+		}
 		if !ok {
 			return &httpkit.Response{Status: 404, Body: []byte("404 Not Found\n")}
 		}
 		if strings.HasSuffix(file, ".php") {
-			return &httpkit.Response{Status: 200, Body: s.script(t, file, src, dispatchMu, hint)}
+			return &httpkit.Response{Status: 200, Body: s.script(t, file, src, engineMu, hint)}
 		}
 		return &httpkit.Response{Status: 200, Body: src}
 	case "PUT":

@@ -66,6 +66,12 @@ func Program(cfg Config) papi.Program {
 		New: func(fs *cfs.FS) papi.Instance {
 			return New(cfg, fs)
 		},
+		// Sessions conflict only through tables; the SysBench-style clients
+		// pin each connection to one table, so routing connections
+		// round-robin across lanes approximates a per-table partition. The
+		// catalog and per-table locks stay cross-lane (unbound), keeping
+		// cross-partition statements correct — just slower, as in the paper.
+		Conflict: &papi.ConflictMap{},
 	}
 }
 
@@ -176,7 +182,15 @@ func (s *Server) Run(t papi.T) {
 	if err != nil {
 		return
 	}
+	// catalogMu and the per-table locks are created unbound: with lanes
+	// they become cross-lane locks automatically, so statements that cross
+	// a lane's partition stay correct (they pay the cross-lane cost the
+	// paper attributes to MySQL's fine-grained locking).
 	catalogMu := t.NewMutex()
+	if t.Lanes() > 1 {
+		s.runLanes(t, l, catalogMu)
+		return
+	}
 	var (
 		conns []papi.Conn
 		cMu   = t.NewMutex()
@@ -208,6 +222,72 @@ func (s *Server) Run(t papi.T) {
 		conns = append(conns, c)
 		cMu.Unlock(t)
 		cCv.Signal(t)
+	}
+}
+
+// laneQueue is one lane's private connection queue.
+type laneQueue struct {
+	conns []papi.Conn
+	cMu   papi.Mutex
+	cCv   papi.Cond
+}
+
+// runLanes is the conflict-partitioned structure: each lane runs its own
+// acceptor and a share of the worker pool over a lane-private connection
+// queue. Sessions themselves are unchanged — table access synchronizes
+// through the cross-lane catalog and per-table locks.
+//
+// Each lane is built by its own lane-main thread (the bootstrap discipline
+// cross-lane spawns require): the lane main creates the lane's queue and
+// worker pool with in-lane spawns, then becomes the lane's acceptor.
+func (s *Server) runLanes(t papi.T, l papi.Listener, catalogMu papi.Mutex) {
+	lanes := t.Lanes()
+	laneMain := func(lt papi.T, lane int) {
+		workers := s.cfg.Workers / lanes
+		if lane < s.cfg.Workers%lanes {
+			workers++
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		q := &laneQueue{cMu: lt.NewMutexLane(lane), cCv: lt.NewCondLane(lane)}
+		for i := 0; i < workers; i++ {
+			lt.Spawn(fmt.Sprintf("lane%d-sql-worker%d", lane, i), func(wt papi.T) {
+				for !wt.Killed() {
+					q.cMu.Lock(wt)
+					for len(q.conns) == 0 {
+						q.cCv.Wait(wt, q.cMu)
+					}
+					c := q.conns[0]
+					q.conns = q.conns[1:]
+					q.cMu.Unlock(wt)
+					s.session(wt, c, catalogMu)
+				}
+			})
+		}
+		s.acceptLoop(lt, l, q)
+	}
+	for lane := 1; lane < lanes; lane++ {
+		t.SpawnLane(lane, fmt.Sprintf("lane%d-sql-main", lane), func(bt papi.T) {
+			laneMain(bt, lane)
+		})
+	}
+	laneMain(t, 0)
+}
+
+func (s *Server) acceptLoop(t papi.T, l papi.Listener, q *laneQueue) {
+	for !t.Killed() {
+		if !l.Poll(t, 50*time.Millisecond) {
+			continue
+		}
+		c, err := l.Accept(t)
+		if err != nil {
+			return
+		}
+		q.cMu.Lock(t)
+		q.conns = append(q.conns, c)
+		q.cMu.Unlock(t)
+		q.cCv.Signal(t)
 	}
 }
 

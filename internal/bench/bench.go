@@ -170,6 +170,7 @@ func ClusterConfig(mode crane.Mode) crane.Config {
 	return crane.Config{
 		Mode:     mode,
 		Replicas: 3,
+		Lanes:    DeployLanes,
 		Wtimeout: 100 * time.Microsecond, // paper default
 		Nclock:   1000,                   // paper default
 		NetOptions: simnet.Options{

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"crane/internal/crane"
+)
+
+// TestLanesProbe is a diagnostic harness for the lane sweep (not run in
+// CI): CRANE_LANES_PROBE=<n> runs the Apache cell at n lanes and prints
+// scheduler counters. Used with -cpuprofile to localize lane-scaling
+// bottlenecks.
+func TestLanesProbe(t *testing.T) {
+	ns := os.Getenv("CRANE_LANES_PROBE")
+	if ns == "" {
+		t.Skip("set CRANE_LANES_PROBE=<lanes>")
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SmallScale
+	s.Concurrency = 8
+	s.Requests = 64
+	spec := laneSpecs()[0]
+	cfg := ClusterConfig(crane.ModeCrane)
+	cfg.Lanes = n
+	for i := 0; i < 3; i++ {
+		cell, lines, err := RunCellWithMetrics(spec, cfg, false, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("run %d: median=%v errors=%d\n", i, cell.Summary.Median, cell.Summary.Errors)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+}

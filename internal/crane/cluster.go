@@ -24,6 +24,15 @@ type Config struct {
 	// paper's evaluation).
 	Replicas int
 
+	// Lanes is the number of parallel execution lanes for DMT modes
+	// (default 1 — the pre-lane single-token configuration). More than one
+	// lane takes effect only for programs that declare a papi.ConflictMap
+	// (Program.EffectiveLanes); connections are routed to lanes by the
+	// program's ConnLane and each lane runs its own deterministic
+	// round-robin schedule, merged deterministically at cross-lane
+	// operations.
+	Lanes int
+
 	// Wtimeout is the empty-sequence duration after which the primary
 	// requests a time bubble (default 100µs, §7).
 	Wtimeout time.Duration
@@ -81,6 +90,9 @@ type Config struct {
 func (c *Config) setDefaults() {
 	if c.Replicas <= 0 {
 		c.Replicas = 3
+	}
+	if c.Lanes < 1 {
+		c.Lanes = 1
 	}
 	if !c.Mode.replicated() {
 		c.Replicas = 1

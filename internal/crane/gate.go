@@ -5,6 +5,7 @@
 package crane
 
 import (
+	"sync/atomic"
 	"time"
 
 	"crane/internal/dmt"
@@ -44,15 +45,44 @@ type gate struct {
 	bubbling bool
 	// spinSleep bounds how hot the empty-sequence spin runs.
 	spinSleep time.Duration
+	// booted[L] flips when lane L's first application thread is admitted
+	// (nil when single-lane). Until then the lane's sequence is withheld:
+	// idle ticks consume nothing, so entries (bubble clones) pile up and
+	// the lane's consumption position stays at 0. This is what makes
+	// StampLane replica-deterministic — a lane's bootstrap thread is
+	// inserted by another lane at a physically-timed moment, and any
+	// clocks the idle thread consumed before that moment would shift the
+	// stamps of the lane's first operations by a timing-dependent amount.
+	// With withholding, consumption starts exactly at the lane's first
+	// application op (a point of the deterministic lane schedule) and
+	// every consumption after it is serialized by the lane token.
+	booted []atomic.Bool
 }
 
 func newGate(r *Replica, bubbling bool) *gate {
-	return &gate{r: r, bubbling: bubbling, spinSleep: 25 * time.Microsecond}
+	g := &gate{r: r, bubbling: bubbling, spinSleep: 25 * time.Microsecond}
+	if r.lanes > 1 {
+		g.booted = make([]atomic.Bool, r.lanes)
+	}
+	return g
 }
 
-// CheckAdmit implements dmt.Gate.
+// CheckAdmit implements dmt.Gate. Each thread is admitted against its own
+// lane's Paxos sequence: lane L's consumption is paced by lane L's
+// committed inputs and bubble clones, so the lane's consumption position —
+// the cross-lane merge stamp — is replica-deterministic.
 func (g *gate) CheckAdmit(t *dmt.Thread) {
-	sq := g.r.sq
+	lane := t.LaneID()
+	sq := g.r.laneSeq(lane)
+	if g.booted != nil && !g.booted[lane].Load() {
+		if t.IsIdle() {
+			// Withhold the sequence until the lane boots (see the booted
+			// field): a pre-boot idle tick must not consume, spin, or
+			// signal — the lane has nothing admissible yet.
+			return
+		}
+		g.booted[lane].Store(true)
+	}
 	if g.bubbling {
 		// Exponential backoff: the spin only delays physical time, never
 		// logical time, so backing off is determinism-neutral — and it
@@ -95,3 +125,23 @@ func (g *gate) CheckAdmit(t *dmt.Thread) {
 // must keep rotating (it is the mechanism that exhausts bubble clocks
 // rapidly when every server thread is blocked, §3.1/§4).
 func (g *gate) Busy() bool { return !g.r.sq.Empty() }
+
+// BusyLane implements dmt.LaneBusyGate: lane L's idle thread rotates while
+// lane L's own sequence has pending entries. A pre-boot lane is never busy
+// (its sequence is withheld), so its idle thread sleeps instead of burning
+// a core on the bubble clones piling up for post-boot consumption.
+func (g *gate) BusyLane(lane int) bool {
+	if g.booted != nil && !g.booted[lane].Load() {
+		return false
+	}
+	return !g.r.laneSeq(lane).Empty()
+}
+
+// StampLane implements dmt.LaneStampGate: lane L's cross-lane merge stamp
+// is its sequence's consumption position (bubble clocks + consumed client
+// calls). It is replica-deterministic at every lane operation — nothing is
+// consumed before the lane's first application op, and every consumption
+// after it is serialized by the lane token — and it keeps advancing while
+// a lane is quiescent (its idle thread drains bubble clones), which is
+// what lets other lanes' merge waits complete.
+func (g *gate) StampLane(lane int) uint64 { return g.r.laneSeq(lane).Progress() }

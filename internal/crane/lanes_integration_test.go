@@ -1,0 +1,235 @@
+package crane
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"crane/internal/apps/clients"
+	"crane/internal/apps/httpd"
+	"crane/internal/apps/mongoose"
+	"crane/internal/trace"
+)
+
+// perConnOutputs rebuilds each connection's output stream from a replica's
+// output log. With multiple lanes the *interleaving* of outputs across
+// connections on different lanes is physically timed (each lane emits at
+// its own pace), but the stream on any one connection is produced by one
+// lane's deterministic schedule — so per-connection streams, not the whole
+// log order, are the cross-replica invariant.
+func perConnOutputs(l *trace.OutputLog) map[uint64]string {
+	m := make(map[uint64]string)
+	for _, e := range l.Events() {
+		m[e.Conn] += string(e.Data)
+	}
+	return m
+}
+
+// waitLanesSettled blocks until every replica has recorded k outputs,
+// closed all client connections, and kept a stable merged ScheduleSum for
+// a sustained window — i.e. the backups have finished *executing* the
+// committed inputs, not merely dequeued them (quiescence alone returns
+// while trailing worker operations are still folding into the hash).
+func waitLanesSettled(t *testing.T, c *Cluster, k int) {
+	t.Helper()
+	if err := c.WaitOutputs(k, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	last := make([]uint64, c.Replicas())
+	stable := 0
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		ok := true
+		for i := 0; i < c.Replicas(); i++ {
+			r := c.Replica(i)
+			sum := r.pproc.Sched.Stats().ScheduleSum
+			if r.openConns.Load() != 0 || sum != last[i] {
+				ok = false
+			}
+			last[i] = sum
+		}
+		if !ok {
+			stable = 0
+			continue
+		}
+		if stable++; stable >= 15 {
+			return
+		}
+	}
+	t.Fatal("lane schedules never settled")
+}
+
+// TestCraneHTTPDLanes runs a 4-lane httpd deployment under full CRANE with
+// concurrent clients and asserts the lane-level determinism contract
+// across replicas: every lane's ScheduleSum, the merged ScheduleSum, and
+// every connection's output stream must be identical on all three
+// replicas. PUTs exercise the cross-lane page mutex under the admission
+// gate (bubble-paced cross-lane stamps); GETs run lane-parallel.
+func TestCraneHTTPDLanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster workload in -short mode")
+	}
+	cfg := httpd.DefaultConfig()
+	cfg.Workers = 8
+	cfg.PHPChunks = 3
+	cfg.PHPChunkWork = 30
+	cfg.CacheEnabled = false
+	cfg.WithDate = false
+	ccfg := integrationConfig(ModeCrane)
+	ccfg.Lanes = 4
+	c, err := StartCluster(ccfg, httpd.Program(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < c.Replicas(); i++ {
+		if got := c.Replica(i).lanes; got != 4 {
+			t.Fatalf("replica %d running %d lanes, want 4", i, got)
+		}
+	}
+
+	// 12 concurrent single-request connections: conn ids are consensus
+	// state, so every replica routes the same connection to the same lane
+	// (conn id mod 4), and all four lanes see traffic.
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := clients.Curl(c.Dial, fmt.Sprintf("lane%d:1", i), 8080,
+				"GET", fmt.Sprintf("/page%d.php", i%8), nil)
+			if err != nil {
+				errs[i] = err
+			} else if status != 200 {
+				errs[i] = fmt.Errorf("GET status %d", status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Concurrent PUTs to distinct files: document-root writes take the
+	// cross-lane pageMu, so lanes contend — and must still agree.
+	var pw sync.WaitGroup
+	perrs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		pw.Add(1)
+		go func(i int) {
+			defer pw.Done()
+			status, _, err := clients.Curl(c.Dial, fmt.Sprintf("put%d:1", i), 8080,
+				"PUT", fmt.Sprintf("/new%d.html", i), []byte("lane-parallel\n"))
+			if err != nil {
+				perrs[i] = err
+			} else if status != 201 {
+				perrs[i] = fmt.Errorf("PUT status %d", status)
+			}
+		}(i)
+	}
+	pw.Wait()
+	for i, err := range perrs {
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	waitLanesSettled(t, c, 16) // 12 GET + 4 PUT responses
+
+	// Per-lane and merged schedule fingerprints agree across replicas.
+	ref := c.Replica(0).pproc.Sched
+	busy := 0
+	for lane := 0; lane < 4; lane++ {
+		if ref.LaneStats(lane).Spawned > 0 {
+			busy++
+		}
+	}
+	if busy < 4 {
+		t.Fatalf("only %d/4 lanes spawned threads", busy)
+	}
+	for i := 1; i < c.Replicas(); i++ {
+		sched := c.Replica(i).pproc.Sched
+		for lane := 0; lane < 4; lane++ {
+			got, want := sched.LaneStats(lane).ScheduleSum, ref.LaneStats(lane).ScheduleSum
+			if got != want {
+				t.Fatalf("replica %d lane %d ScheduleSum %#x != replica 0 %#x", i, lane, got, want)
+			}
+		}
+		if got, want := sched.Stats().ScheduleSum, ref.Stats().ScheduleSum; got != want {
+			t.Fatalf("replica %d merged ScheduleSum %#x != replica 0 %#x", i, got, want)
+		}
+	}
+
+	// Per-connection output streams agree across replicas.
+	want := perConnOutputs(c.Replica(0).Outputs())
+	if len(want) == 0 {
+		t.Fatal("replica 0 recorded no outputs")
+	}
+	for i := 1; i < c.Replicas(); i++ {
+		got := perConnOutputs(c.Replica(i).Outputs())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d per-connection outputs diverge from replica 0", i)
+		}
+	}
+}
+
+// TestCraneMongooseLanes is the same contract on mongoose's per-worker
+// mailbox structure, at 2 lanes (the minimum that exercises the cross-lane
+// merge) with concurrent clients.
+func TestCraneMongooseLanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster workload in -short mode")
+	}
+	mcfg := mongoose.DefaultConfig()
+	mcfg.ScriptChunks = 3
+	mcfg.ScriptChunkWork = 30
+	mcfg.WithDate = false
+	ccfg := integrationConfig(ModeCrane)
+	ccfg.Lanes = 2
+	c, err := StartCluster(ccfg, mongoose.Program(mcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := clients.Curl(c.Dial, fmt.Sprintf("mg%d:1", i), 8081,
+				"GET", fmt.Sprintf("/app%d.php", i%6), nil)
+			if err != nil {
+				errs[i] = err
+			} else if status != 200 {
+				errs[i] = fmt.Errorf("GET status %d", status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	waitLanesSettled(t, c, 8)
+	for i := 1; i < c.Replicas(); i++ {
+		for lane := 0; lane < 2; lane++ {
+			got := c.Replica(i).pproc.Sched.LaneStats(lane).ScheduleSum
+			want := c.Replica(0).pproc.Sched.LaneStats(lane).ScheduleSum
+			if got != want {
+				t.Fatalf("replica %d lane %d ScheduleSum %#x != replica 0 %#x", i, lane, got, want)
+			}
+		}
+		got, want := perConnOutputs(c.Replica(i).Outputs()), perConnOutputs(c.Replica(0).Outputs())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d per-connection outputs diverge from replica 0", i)
+		}
+	}
+}

@@ -109,7 +109,7 @@ func (ro *replicaObs) recordCommitted(e *seq.Entry) {
 // turn. Runs inside the sequence's consumption hook (under sq.mu): it only
 // touches ro.mu, the instruments, and the tracer — never the sequence or
 // the scheduler lock (logical comes from the scheduler's atomic mirror).
-func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64) {
+func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
 	if e.Req == 0 {
 		return
 	}
@@ -126,17 +126,18 @@ func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64) {
 		ro.admitToExec.Since(t0)
 	}
 	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index,
-		Stage: obs.StageConsumed, Logical: logical})
+		Stage: obs.StageConsumed, Logical: logical, Lane: lane})
 }
 
 // recordOutput marks a server response on conn. Outputs carry no request id
 // of their own; they are attributed to the last request consumed on the
 // connection (the request/response flow of the example servers).
-func (ro *replicaObs) recordOutput(conn uint64, logical uint64) {
+func (ro *replicaObs) recordOutput(conn uint64, logical uint64, lane int) {
 	ro.mu.Lock()
 	req := ro.connReq[conn]
 	ro.mu.Unlock()
-	ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Stage: obs.StageOutput, Logical: logical})
+	ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Stage: obs.StageOutput,
+		Logical: logical, Lane: lane})
 }
 
 // rejectAdmit counts a refused admission and forgets its admit time (the

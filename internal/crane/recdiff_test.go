@@ -9,9 +9,12 @@ package crane
 import (
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 
+	"crane/internal/apps/clients"
 	"crane/internal/apps/httpd"
+	"crane/internal/apps/mongoose"
 	"crane/internal/dmt"
 )
 
@@ -79,4 +82,232 @@ func TestSchedDivergenceDebug(t *testing.T) {
 		}
 	}
 	t.Log("no divergence observed in 12 runs")
+}
+
+// diffLaneRecs prints the steps around the first cross-replica divergence
+// in each lane's recorded schedule.
+func diffLaneRecs(t *testing.T, c *Cluster, lanes int) {
+	t.Helper()
+	for lane := 0; lane < lanes; lane++ {
+		a := c.Replica(0).laneRecs[lane]
+		for ri := 1; ri < c.Replicas(); ri++ {
+			b := c.Replica(ri).laneRecs[lane]
+			n := a.Len()
+			if b.Len() < n {
+				n = b.Len()
+			}
+			div := -1
+			for j := 0; j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				if at != bt || ao != bo {
+					div = j
+					break
+				}
+			}
+			cdiv := -1
+			// Print every change in the raw clock delta: each onset is a
+			// physically-timed idle tick slipping in (or a resync point).
+			var lastD int64
+			for j := 0; j < n && (div < 0 || j < div); j++ {
+				d := int64(a.StepClock(j)) - int64(b.StepClock(j))
+				if j == 0 || d != lastD {
+					if j > 0 || d != 0 {
+						jt, jo := a.Step(j)
+						t.Logf("lane %d replica 0 vs %d: raw clock delta %+d at step %d (t%d %c): clkA=%d clkB=%d",
+							lane, ri, d, j, jt, jo, a.StepClock(j), b.StepClock(j))
+						if cdiv < 0 {
+							cdiv = j
+						}
+					}
+					lastD = d
+				}
+			}
+			if div < 0 && a.Len() == b.Len() {
+				if cdiv < 0 {
+					t.Logf("lane %d replica %d: identical (%d steps)", lane, ri, n)
+				}
+				continue
+			}
+			if div < 0 {
+				div = n
+			}
+			t.Logf("lane %d replica 0 vs %d: first divergence at step %d (lens %d vs %d)",
+				lane, ri, div, a.Len(), b.Len())
+			lo := div - 20
+			if lo < 0 {
+				lo = 0
+			}
+			for j := lo; j < div+20 && j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				mark := "  "
+				if at != bt || ao != bo {
+					mark = "<<"
+				}
+				t.Logf("step %5d: A=(t%d %c)  B=(t%d %c) %s", j, at, ao, bt, bo, mark)
+			}
+		}
+	}
+}
+
+// TestHTTPDLaneSchedDivergenceDebug reruns the 4-lane httpd workload with
+// per-lane recording. CRANE_LANE_PUTS=0 drops the cross-lane PUT section,
+// isolating whether the cross-lane merge (pageMu stamps) is the trigger.
+func TestHTTPDLaneSchedDivergenceDebug(t *testing.T) {
+	if os.Getenv("CRANE_SCHED_REC") == "" {
+		t.Skip("set CRANE_SCHED_REC=1 to run")
+	}
+	cfg := httpd.DefaultConfig()
+	cfg.Workers = 8
+	cfg.PHPChunks = 3
+	cfg.PHPChunkWork = 30
+	cfg.CacheEnabled = false
+	cfg.WithDate = false
+	ccfg := integrationConfig(ModeCrane)
+	ccfg.Lanes = 4
+	c, err := StartCluster(ccfg, httpd.Program(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	outs := 12
+	var wg sync.WaitGroup
+	cerrs := make([]error, 16)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := clients.Curl(c.Dial, fmt.Sprintf("lane%d:1", i), 8080,
+				"GET", fmt.Sprintf("/page%d.php", i%8), nil)
+			if err == nil && status != 200 {
+				err = fmt.Errorf("status %d", status)
+			}
+			cerrs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	if os.Getenv("CRANE_LANE_PUTS") != "0" {
+		outs = 16
+		var pw sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			pw.Add(1)
+			go func(i int) {
+				defer pw.Done()
+				status, _, err := clients.Curl(c.Dial, fmt.Sprintf("put%d:1", i), 8080,
+					"PUT", fmt.Sprintf("/new%d.html", i), []byte("lane-parallel\n"))
+				if err == nil && status != 201 {
+					err = fmt.Errorf("status %d", status)
+				}
+				cerrs[12+i] = err
+			}(i)
+		}
+		pw.Wait()
+	}
+	for i, err := range cerrs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	waitLanesSettled(t, c, outs)
+	for lane := 0; lane < 4; lane++ {
+		for ri := 1; ri < c.Replicas(); ri++ {
+			got := c.Replica(ri).pproc.Sched.LaneStats(lane).ScheduleSum
+			want := c.Replica(0).pproc.Sched.LaneStats(lane).ScheduleSum
+			if got != want {
+				t.Errorf("replica %d lane %d ScheduleSum %#x != replica 0 %#x", ri, lane, got, want)
+			}
+		}
+	}
+	diffLaneRecs(t, c, 4)
+	if t.Failed() {
+		for ri := 0; ri < c.Replicas(); ri++ {
+			for i, e := range c.Replica(ri).pproc.Sched.CrossDebugLog() {
+				t.Logf("replica %d cross[%d]: lane=%d thread=%d stamp=%d app=%d",
+					ri, i, e.Lane, e.Thread, e.Stamp, e.App)
+			}
+		}
+	}
+}
+
+// TestLaneSchedDivergenceDebug is the multi-lane variant: it runs the
+// 2-lane mongoose workload with per-lane recording and prints the steps
+// around the first cross-replica divergence in each lane's schedule.
+func TestLaneSchedDivergenceDebug(t *testing.T) {
+	if os.Getenv("CRANE_SCHED_REC") == "" {
+		t.Skip("set CRANE_SCHED_REC=1 to run")
+	}
+	mcfg := mongoose.DefaultConfig()
+	mcfg.ScriptChunks = 3
+	mcfg.ScriptChunkWork = 30
+	mcfg.WithDate = false
+	ccfg := integrationConfig(ModeCrane)
+	ccfg.Lanes = 2
+	c, err := StartCluster(ccfg, mongoose.Program(mcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	var wg sync.WaitGroup
+	cerrs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := clients.Curl(c.Dial, fmt.Sprintf("mg%d:1", i), 8081,
+				"GET", fmt.Sprintf("/app%d.php", i%6), nil)
+			if err == nil && status != 200 {
+				err = fmt.Errorf("status %d", status)
+			}
+			cerrs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range cerrs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	waitLanesSettled(t, c, 8)
+	for lane := 0; lane < 2; lane++ {
+		a := c.Replica(0).laneRecs[lane]
+		for ri := 1; ri < c.Replicas(); ri++ {
+			b := c.Replica(ri).laneRecs[lane]
+			n := a.Len()
+			if b.Len() < n {
+				n = b.Len()
+			}
+			div := -1
+			for j := 0; j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				if at != bt || ao != bo {
+					div = j
+					break
+				}
+			}
+			if div < 0 && a.Len() == b.Len() {
+				t.Logf("lane %d replica %d: identical (%d steps)", lane, ri, n)
+				continue
+			}
+			if div < 0 {
+				div = n
+			}
+			t.Logf("lane %d replica 0 vs %d: first divergence at step %d (lens %d vs %d)",
+				lane, ri, div, a.Len(), b.Len())
+			lo := div - 20
+			if lo < 0 {
+				lo = 0
+			}
+			for j := lo; j < div+20 && j < n; j++ {
+				at, ao := a.Step(j)
+				bt, bo := b.Step(j)
+				mark := "  "
+				if at != bt || ao != bo {
+					mark = "<<"
+				}
+				t.Logf("step %5d: A=(t%d %c)  B=(t%d %c) %s", j, at, ao, bt, bo, mark)
+			}
+		}
+	}
 }

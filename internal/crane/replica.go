@@ -84,6 +84,12 @@ type Replica struct {
 	node  *paxos.Node
 	store *wal.Log
 	sq    *seq.Sequence
+	// sqs holds one Paxos sequence per execution lane; sqs[0] == sq, so the
+	// single-lane deployment is untouched. Committed entries are routed by
+	// connection id (Program.ConnLaneOf) and bubbles are cloned into every
+	// lane, keeping each lane's clock bubble-paced.
+	sqs   []*seq.Sequence
+	lanes int
 	px    *proxy
 	pump  *pumpSockets
 
@@ -108,6 +114,7 @@ type Replica struct {
 	rejoining    bool
 	checker      *analysis.LockOrderChecker
 	schedRec     *dmt.Schedule
+	laneRecs     []*dmt.Schedule // per-lane recordings (CRANE_SCHED_REC, lanes > 1)
 	entArena     []seq.Entry
 	// transport overrides the hub endpoint (TCP consensus deployments).
 	transport paxos.Transport
@@ -129,8 +136,33 @@ func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Re
 		out:         trace.NewOutputLog(fmt.Sprintf("replica%d", id)),
 		closedConns: make(map[uint64]bool),
 	}
+	r.lanes = 1
+	if cfg.Mode.deterministic() {
+		r.lanes = prog.EffectiveLanes(cfg.Lanes)
+	}
+	r.sqs = make([]*seq.Sequence, r.lanes)
+	r.sqs[0] = r.sq
+	for i := 1; i < r.lanes; i++ {
+		r.sqs[i] = seq.New()
+	}
 	r.ro = newReplicaObs(r)
 	return r
+}
+
+// laneSeq returns lane i's Paxos sequence (the legacy sequence when
+// single-lane or out of range).
+func (r *Replica) laneSeq(i int) *seq.Sequence {
+	if i < 0 || i >= len(r.sqs) {
+		return r.sq
+	}
+	return r.sqs[i]
+}
+
+// laneForConn is the deterministic connection-to-lane routing declared by
+// the program's conflict map. Connection ids are replica-consistent, so
+// every replica routes identically.
+func (r *Replica) laneForConn(conn uint64) int {
+	return r.prog.ConnLaneOf(conn, r.lanes)
 }
 
 // start builds the filesystem, program instance, consensus node, proxy and
@@ -150,10 +182,15 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		}
 	}
 
+	// Lane 0's sequence keeps the legacy instrument names; every lane's
+	// consumption hook tags spans with its lane id.
 	r.sq.SetObs(r.ro.reg)
-	r.sq.SetConsumedHook(func(e *seq.Entry) {
-		r.ro.recordConsumed(e, r.logicalClock())
-	})
+	for i, lsq := range r.sqs {
+		lane := i
+		lsq.SetConsumedHook(func(e *seq.Entry) {
+			r.ro.recordConsumed(e, r.logicalClock(), lane)
+		})
+	}
 
 	if r.mode.replicated() {
 		var store *wal.Log
@@ -201,21 +238,33 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	switch r.mode {
 	case ModeNondet:
 		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
+		r.nproc.SetLanes(r.prog.EffectiveLanes(r.cfg.Lanes))
 	case ModeParrotOnly:
 		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
+		r.pproc.SetLanes(r.lanes)
 	case ModePaxosOnly:
 		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
+		r.nproc.SetLanes(r.prog.EffectiveLanes(r.cfg.Lanes))
 		r.pump = newPumpSockets(r)
 		r.nproc.SetSocketLayer(r.pump)
 	case ModeCrane, ModeCraneNoBubble:
 		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
+		r.pproc.SetLanes(r.lanes)
 		r.pproc.SetSocketLayer(&dmtSockets{r: r})
 		r.pproc.Sched.SetGate(newGate(r, r.mode == ModeCrane))
 	}
 	if r.pproc != nil {
 		r.pproc.Sched.SetObs(r.ro.reg)
+		// Single-lane recording captures the one total order; multi-lane
+		// captures one schedule per lane (lanes have no meaningful total
+		// order across them). Both exist for divergence diagnostics.
 		if os.Getenv("CRANE_SCHED_REC") != "" {
-			r.schedRec = r.pproc.Sched.StartRecording()
+			if r.lanes == 1 {
+				r.schedRec = r.pproc.Sched.StartRecording()
+			} else {
+				r.laneRecs = r.pproc.Sched.StartLaneRecordings()
+				r.pproc.Sched.StartCrossDebug()
+			}
 		}
 	}
 	// REPFRAME-style analysis (§6.2): attach the lock-order checker to
@@ -260,11 +309,15 @@ func (r *Replica) logicalClock() uint64 {
 
 // health snapshots the /healthz payload.
 func (r *Replica) health() obs.Health {
+	pending := 0
+	for _, lsq := range r.sqs {
+		pending += lsq.Len()
+	}
 	h := obs.Health{
 		Replica:    r.id,
 		Mode:       r.mode.String(),
 		OpenConns:  r.openConns.Load(),
-		SeqPending: r.sq.Len(),
+		SeqPending: pending,
 	}
 	if r.node != nil {
 		h.Primary = r.node.IsPrimary()
@@ -297,7 +350,23 @@ func (r *Replica) onDeliver(e paxos.LogEntry) {
 	}
 	ent.Index = e.Index
 	r.ro.recordCommitted(ent)
-	r.sq.Enqueue(ent)
+	if ent.Kind == seq.KindBubble && r.lanes > 1 {
+		// A bubble paces every lane's logical clock: clone it into each
+		// lane's sequence (TickBubble mutates NClock in place, so the
+		// lanes cannot share one entry). Bubbles are what keep a starved
+		// lane's clock advancing, which the cross-lane merge relies on.
+		for _, lsq := range r.sqs {
+			if len(r.entArena) == 0 {
+				r.entArena = make([]seq.Entry, 64)
+			}
+			clone := &r.entArena[0]
+			r.entArena = r.entArena[1:]
+			*clone = *ent
+			lsq.Enqueue(clone)
+		}
+	} else {
+		r.laneSeq(r.laneForConn(ent.Conn)).Enqueue(ent)
+	}
 	if ent.Kind == seq.KindBubble {
 		r.bubblePending.Store(false)
 	}
@@ -310,7 +379,18 @@ func (r *Replica) onDeliver(e paxos.LogEntry) {
 // has been starved of input for W_timeout, the primary invokes consensus
 // on a time-bubble insertion (backups drop the request).
 func (r *Replica) maybeRequestBubble() {
-	if !r.sq.EmptyFor(r.cfg.Wtimeout) {
+	// A bubble is due when any lane's sequence has starved for W_timeout
+	// (with one lane this is exactly the pre-lane condition): starved
+	// lanes need bubbles to tick their clocks even while other lanes have
+	// steady client input.
+	starved := false
+	for _, lsq := range r.sqs {
+		if lsq.EmptyFor(r.cfg.Wtimeout) {
+			starved = true
+			break
+		}
+	}
+	if !starved {
 		return
 	}
 	if r.node == nil || !r.node.IsPrimary() {
@@ -329,7 +409,19 @@ func (r *Replica) maybeRequestBubble() {
 		return
 	}
 	r.bubbleSince.Store(now)
-	e := seq.Entry{Kind: seq.KindBubble, NClock: r.cfg.Nclock}
+	// One bubble is cloned into every lane (onDeliver), so the replica-wide
+	// clock grant of a single consensus round is NClock x lanes — and every
+	// granted clock costs one idle-thread token turn to consume. Dividing
+	// the per-bubble grant by the lane count keeps the grant (and the chew
+	// cost) per consensus round constant as lanes scale; a starved lane
+	// simply requests bubbles more often. The divided value rides the
+	// committed entry, so replicas agree by construction. Single-lane is
+	// the identity: pre-lane bubbles are unchanged.
+	nclock := r.cfg.Nclock / uint64(r.lanes)
+	if nclock == 0 {
+		nclock = 1
+	}
+	e := seq.Entry{Kind: seq.KindBubble, NClock: nclock}
 	// Bubbles ride the proxy's burst submitter so a bubble terminates the
 	// burst it lands in (§4: no socket call queued behind the bubble is
 	// packaged after it).
@@ -342,7 +434,7 @@ func (r *Replica) maybeRequestBubble() {
 // to the client; backups log and drop (§2.1).
 func (r *Replica) emitOutput(conn uint64, data []byte) {
 	r.out.Record(conn, data)
-	r.ro.recordOutput(conn, r.logicalClock())
+	r.ro.recordOutput(conn, r.logicalClock(), r.laneForConn(conn))
 	if r.px != nil && r.node.IsPrimary() {
 		r.px.forward(conn, data)
 	}
@@ -404,9 +496,18 @@ func (r *Replica) stop() {
 // --- checkpoint.Process implementation (§5.2) ---
 
 // Quiescent reports whether the server has no alive client connections and
-// no pending input — the paper's trick for avoiding TCP-stack checkpoints.
+// no pending input in any lane — the paper's trick for avoiding TCP-stack
+// checkpoints.
 func (r *Replica) Quiescent() bool {
-	return r.openConns.Load() == 0 && r.sq.Empty()
+	if r.openConns.Load() != 0 {
+		return false
+	}
+	for _, lsq := range r.sqs {
+		if !lsq.Empty() {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot serializes the program's in-memory state (CRIU substitution).
@@ -449,8 +550,23 @@ func (r *Replica) IsPrimary() bool { return r.node != nil && r.node.IsPrimary() 
 // Outputs returns the replica's network-output log (§7.2).
 func (r *Replica) Outputs() *trace.OutputLog { return r.out }
 
-// SeqStats returns the Paxos-sequence counters (Table 1).
-func (r *Replica) SeqStats() seq.Stats { return r.sq.Stats() }
+// SeqStats returns the Paxos-sequence counters (Table 1), summed over
+// lanes in multi-lane deployments (bubble counters multiply by the lane
+// count, since bubbles are cloned into every lane).
+func (r *Replica) SeqStats() seq.Stats {
+	agg := r.sq.Stats()
+	for _, lsq := range r.sqs[1:] {
+		st := lsq.Stats()
+		agg.Enqueued += st.Enqueued
+		agg.Bubbles += st.Bubbles
+		agg.ClientCalls += st.ClientCalls
+		agg.BubbleClocks += st.BubbleClocks
+		agg.Consumed += st.Consumed
+		agg.Pending += st.Pending
+		agg.PayloadBytes += st.PayloadBytes
+	}
+	return agg
+}
 
 // Node exposes the consensus node (nil in un-replicated modes).
 func (r *Replica) Node() *paxos.Node { return r.node }

@@ -38,10 +38,14 @@ func (l *dmtListener) Poll(t papi.T, hint time.Duration) bool {
 	if !ok {
 		return false
 	}
+	// Each lane's acceptor polls its own lane's sequence: CONNECTs are
+	// routed to lanes by the program's conflict map, so lane L only ever
+	// sees (and accepts) its own connections.
+	sq := l.r.laneSeq(th.LaneID())
 	th.GetTurn()
 	th.Admit()
 	for {
-		if h, ok := l.r.sq.Head(); ok && h.Kind == seq.KindConnect && h.Port == l.port {
+		if h, ok := sq.Head(); ok && h.Kind == seq.KindConnect && h.Port == l.port {
 			th.PutTurn()
 			return true
 		}
@@ -55,14 +59,15 @@ func (l *dmtListener) Accept(t papi.T) (papi.Conn, error) {
 	if !ok {
 		return nil, errors.New("crane: accept from non-DMT thread")
 	}
+	sq := l.r.laneSeq(th.LaneID())
 	th.GetTurn()
 	th.Admit()
 	for {
-		if h, ok := l.r.sq.Head(); ok && h.Kind == seq.KindConnect && h.Port == l.port {
-			connID, _, _ := l.r.sq.PopConnect()
+		if h, ok := sq.Head(); ok && h.Kind == seq.KindConnect && h.Port == l.port {
+			connID, _, _ := sq.PopConnect()
 			l.r.openConns.Add(1)
 			th.PutTurn()
-			return &dmtConn{r: l.r, id: connID}, nil
+			return &dmtConn{r: l.r, id: connID, sq: sq}, nil
 		}
 		th.WaitOn(acceptKey{l.port})
 	}
@@ -74,7 +79,8 @@ func (l *dmtListener) Close() error { return nil }
 type dmtConn struct {
 	r      *Replica
 	id     uint64
-	eof    bool // all client data consumed (guarded by the token)
+	sq     *seq.Sequence // the connection's lane sequence (== r.sq single-lane)
+	eof    bool          // all client data consumed (guarded by the token)
 	closed bool
 }
 
@@ -96,7 +102,7 @@ func (c *dmtConn) Recv(t papi.T, buf []byte) (int, error) {
 		return 0, io.EOF
 	}
 	for {
-		n, eof := c.r.sq.ReadInto(c.id, buf)
+		n, eof := c.sq.ReadInto(c.id, buf)
 		if eof {
 			c.eof = true
 			c.r.openConns.Add(-1)

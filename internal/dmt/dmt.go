@@ -132,6 +132,23 @@ type Scheduler struct {
 	runqLenA     atomic.Int64
 	reentryLenA  atomic.Int64
 
+	// Lane state (lanes.go). On a single-lane scheduler laneID is 0,
+	// idStride 1, and group/lanes/cross are nil — every lane branch below
+	// is a predicted-not-taken compare, keeping the 1-lane hot path (and
+	// schedule) identical to the pre-lane implementation.
+	laneID   int
+	idStride int
+	group    *Scheduler   // root scheduler when this is a child lane
+	lanes    []*Scheduler // on the root: all lanes including itself
+	cross    *crossDomain // shared merge domain; nil when single-lane
+	// appClock counts non-idle ticks: the gateless merge stamp (idle ticks
+	// are timing-dependent without a gate pacing them). Maintained only
+	// when cross != nil. activeBarriersA counts armed soft barriers (see
+	// parkedLane).
+	appClock        uint64
+	appClockA       atomic.Uint64
+	activeBarriersA atomic.Int64
+
 	// turnWait measures the GetTurn park path (thread parked waiting for
 	// the token). Installed by SetObs before Start, nil when off; the idle
 	// thread's parking is excluded (it parks by design whenever any
@@ -166,6 +183,7 @@ func New() *Scheduler {
 		wslots:    make([]waitSlot, 32),
 		killCh:    make(chan struct{}),
 		schedHash: 14695981039346656037, // FNV-1a offset basis
+		idStride:  1,
 	}
 	s.schedHashA.Store(s.schedHash)
 	return s
@@ -188,28 +206,66 @@ func (s *Scheduler) SetObs(reg *obs.Registry) {
 		return float64(s.ClockFast())
 	})
 	reg.GaugeFunc("dmt_token_passes_total", "put_turn rotations", func() float64 {
-		return float64(s.tokenPassesA.Load())
+		return float64(s.Stats().TokenPasses)
 	})
 	reg.GaugeFunc("dmt_waits_total", "wait() calls", func() float64 {
-		return float64(s.waitsA.Load())
+		return float64(s.Stats().Waits)
 	})
 	reg.GaugeFunc("dmt_signals_total", "signal/broadcast wake-ups delivered", func() float64 {
-		return float64(s.signalsA.Load())
+		return float64(s.Stats().Signals)
 	})
 	reg.GaugeFunc("dmt_threads_spawned_total", "application threads created", func() float64 {
-		return float64(s.spawnedA.Load())
+		return float64(s.Stats().Spawned)
 	})
 	reg.GaugeFunc("dmt_runq_len", "current run-queue length", func() float64 {
 		return float64(s.RunQueueLen())
 	})
+	if len(s.lanes) > 1 {
+		// Per-lane instruments (call SetLanes before SetObs): token-handoff
+		// counters, occupancy gauges, and turn-wait histograms, one set per
+		// lane. Each lane records its turn waits into its own histogram
+		// (including lane 0, whose per-lane name supersedes the aggregate
+		// registered above — that one stays for single-lane deployments).
+		for i, ln := range s.lanes {
+			ln := ln
+			//crane:obsreg-ok one registration per lane, names are lane-unique
+			ln.turnWait = reg.Histogram(fmt.Sprintf("dmt_lane%d_turn_wait_seconds", i),
+				fmt.Sprintf("time a lane-%d thread parks waiting for its lane token", i))
+			//crane:obsreg-ok one registration per lane, names are lane-unique
+			reg.GaugeFunc(fmt.Sprintf("dmt_lane%d_clock", i),
+				fmt.Sprintf("lane %d logical clock", i), func() float64 {
+					return float64(ln.clockA.Load())
+				})
+			//crane:obsreg-ok one registration per lane, names are lane-unique
+			reg.GaugeFunc(fmt.Sprintf("dmt_lane%d_token_passes_total", i),
+				fmt.Sprintf("lane %d put_turn rotations (token handoffs)", i), func() float64 {
+					return float64(ln.tokenPassesA.Load())
+				})
+			//crane:obsreg-ok one registration per lane, names are lane-unique
+			reg.GaugeFunc(fmt.Sprintf("dmt_lane%d_runq_len", i),
+				fmt.Sprintf("lane %d run-queue occupancy", i), func() float64 {
+					return float64(ln.runqLenA.Load())
+				})
+		}
+	}
 }
 
-// ClockFast returns the logical clock from an atomic mirror, without taking
-// the scheduler lock. Safe from any goroutine, including callbacks that
-// already hold other locks.
-func (s *Scheduler) ClockFast() uint64 { return s.clockA.Load() }
+// ClockFast returns the logical clock from atomic mirrors, without taking
+// any scheduler lock. Safe from any goroutine, including callbacks that
+// already hold other locks. Summed over lanes on a multi-lane root.
+func (s *Scheduler) ClockFast() uint64 {
+	if len(s.lanes) > 1 {
+		var c uint64
+		for _, ln := range s.lanes {
+			c += ln.clockA.Load()
+		}
+		return c
+	}
+	return s.clockA.Load()
+}
 
-// Start launches the internal idle thread. It must be called exactly once.
+// Start launches the internal idle thread — one per lane when SetLanes
+// configured more than one. It must be called exactly once, on the root.
 func (s *Scheduler) Start() {
 	s.mu.Lock()
 	if s.started {
@@ -218,7 +274,40 @@ func (s *Scheduler) Start() {
 	}
 	s.started = true
 	s.mu.Unlock()
+	if len(s.lanes) > 1 {
+		// Gate, observer, and idle pacing are installed on the root before
+		// Start; fan them out to every lane. Observers may now be invoked
+		// concurrently (one token holder per lane), so serialize them.
+		if s.gate != nil {
+			sg, ok := s.gate.(LaneStampGate)
+			if !ok {
+				panic("dmt: a gate on a multi-lane scheduler must implement LaneStampGate (cross-lane merge stamps come from the committed input stream)")
+			}
+			s.cross.stamp = sg.StampLane
+		}
+		if s.observer != nil {
+			var omu sync.Mutex
+			inner := s.observer
+			s.observer = func(e Event) {
+				omu.Lock()
+				inner(e)
+				omu.Unlock()
+			}
+		}
+		for _, ln := range s.lanes[1:] {
+			ln.gate = s.gate
+			ln.observer = s.observer
+			ln.IdleSleep = s.IdleSleep
+			ln.started = true
+		}
+	}
 	s.idle = s.spawn("idle", func(t *Thread) { s.idleLoop(t) }, true)
+	if len(s.lanes) > 1 {
+		for _, ln := range s.lanes[1:] {
+			ln := ln
+			ln.idle = ln.spawn("idle", func(t *Thread) { ln.idleLoop(t) }, true)
+		}
+	}
 }
 
 // killedPanic is the sentinel thrown through application threads when the
@@ -229,6 +318,14 @@ type killedPanic struct{}
 // operation unwinds. Threads blocked in real I/O (plain-Parrot mode) must
 // be unblocked by closing their sockets. Wait for full teardown with Join.
 func (s *Scheduler) Kill() {
+	if len(s.lanes) > 1 {
+		for _, ln := range s.lanes {
+			ln.mu.Lock()
+			ln.killLocked()
+			ln.mu.Unlock()
+		}
+		return
+	}
 	s.mu.Lock()
 	s.killLocked()
 	s.mu.Unlock()
@@ -262,7 +359,30 @@ func (s *Scheduler) Join() { s.wg.Wait() }
 func (s *Scheduler) Killed() bool { return s.killedA.Load() }
 
 // Stats returns a snapshot of the counters (lock-free; see Stats type doc).
+// On a multi-lane root the counters are summed over lanes and ScheduleSum
+// is an FNV-1a fold of the per-lane schedule hashes in lane order.
 func (s *Scheduler) Stats() Stats {
+	if len(s.lanes) > 1 {
+		var agg Stats
+		h := uint64(14695981039346656037)
+		for _, ln := range s.lanes {
+			st := ln.laneStats()
+			agg.Clock += st.Clock
+			agg.TokenPasses += st.TokenPasses
+			agg.Waits += st.Waits
+			agg.Signals += st.Signals
+			agg.Spawned += st.Spawned
+			h ^= st.ScheduleSum
+			h *= 1099511628211
+		}
+		agg.ScheduleSum = h
+		return agg
+	}
+	return s.laneStats()
+}
+
+// laneStats snapshots this lane's own counters.
+func (s *Scheduler) laneStats() Stats {
 	return Stats{
 		Clock:       s.clockA.Load(),
 		TokenPasses: s.tokenPassesA.Load(),
@@ -273,12 +393,37 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
-// Clock returns the current logical clock (lock-free).
-func (s *Scheduler) Clock() uint64 { return s.clockA.Load() }
+// LaneStats snapshots one lane's counters (lane 0 on a single-lane
+// scheduler).
+func (s *Scheduler) LaneStats(lane int) Stats {
+	return s.root().laneSched(lane).laneStats()
+}
+
+// Clock returns the current logical clock (lock-free; summed over lanes on
+// a multi-lane root).
+func (s *Scheduler) Clock() uint64 {
+	if len(s.lanes) > 1 {
+		var c uint64
+		for _, ln := range s.lanes {
+			c += ln.clockA.Load()
+		}
+		return c
+	}
+	return s.clockA.Load()
+}
 
 // RunQueueLen returns the current run-queue length (diagnostics,
-// lock-free).
-func (s *Scheduler) RunQueueLen() int { return int(s.runqLenA.Load()) }
+// lock-free; summed over lanes on a multi-lane root).
+func (s *Scheduler) RunQueueLen() int {
+	if len(s.lanes) > 1 {
+		var n int64
+		for _, ln := range s.lanes {
+			n += ln.runqLenA.Load()
+		}
+		return int(n)
+	}
+	return int(s.runqLenA.Load())
+}
 
 // Thread is a scheduled thread. All scheduled operations are methods on
 // the thread so the scheduler knows the caller's identity.
@@ -320,6 +465,11 @@ func (t *Thread) Finished() bool {
 
 // Name returns the thread's debug name.
 func (t *Thread) Name() string { return t.name }
+
+// IsIdle reports whether this is a scheduler-internal idle thread. Gates
+// use it to tell pacing rotations from application operations (a lane's
+// sequence is withheld until its first application thread is admitted).
+func (t *Thread) IsIdle() bool { return t.isIdle }
 
 func (t *Thread) poke() {
 	select {
@@ -428,14 +578,22 @@ func (s *Scheduler) runqMoveToFrontLocked(i int) {
 }
 
 // Spawn creates a thread running fn and schedules it at the tail of the
-// run queue. Spawn is itself a scheduled operation when called from a
-// scheduled thread (parent); the root call (from ordinary Go code, parent
-// nil-turn) appends directly. fn's panics from Kill are absorbed.
+// run queue — the parent's lane's queue when parent is non-nil (children
+// inherit their parent's lane), the receiver's otherwise. Spawn is itself
+// a scheduled operation when called from a scheduled thread (parent); the
+// root call (from ordinary Go code, parent nil-turn) appends directly.
+// fn's panics from Kill are absorbed.
 func (s *Scheduler) Spawn(parent *Thread, name string, fn func(*Thread)) *Thread {
 	if parent != nil {
+		// The child inherits the parent's lane: the insertion happens while
+		// the parent holds its own lane's token, so the child's run-queue
+		// position is a scheduled operation of that lane — deterministic.
+		// (Inserting into any OTHER lane's queue from here would race that
+		// lane's rotation; that is why cross-lane spawns go through
+		// SpawnLane's bootstrap-only path instead.)
 		parent.GetTurn()
 		parent.Admit()
-		t := s.spawn(name, fn, false)
+		t := parent.s.spawn(name, fn, false)
 		parent.PutTurn()
 		return t
 	}
@@ -448,7 +606,11 @@ func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 		s.mu.Unlock()
 		return nil
 	}
-	t := &Thread{s: s, id: s.nextID, name: name, wake: make(chan struct{}, 1), isIdle: isIdle}
+	// Thread ids are striped by lane (id = perLaneSeq*stride + laneID):
+	// deterministic per lane, globally unique, and — with stride 1 on a
+	// single-lane scheduler — identical to the pre-lane creation order.
+	t := &Thread{s: s, id: s.nextID*s.idStride + s.laneID, name: name,
+		wake: make(chan struct{}, 1), isIdle: isIdle}
 	s.nextID++
 	if !isIdle {
 		s.spawned++
@@ -460,9 +622,13 @@ func (s *Scheduler) spawn(name string, fn func(*Thread), isIdle bool) *Thread {
 	if wasEmpty {
 		s.grant(t)
 	}
-	s.wg.Add(1)
+	wg := &s.wg
+	if s.group != nil {
+		wg = &s.group.wg // one Join covers every lane
+	}
+	wg.Add(1)
 	go func() {
-		defer s.wg.Done()
+		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killedPanic); !ok {
@@ -608,6 +774,10 @@ func (s *Scheduler) tickLocked(t *Thread, op byte) {
 	if t.isIdle {
 		s.pubLocked()
 		return
+	}
+	if s.cross != nil {
+		s.appClock++
+		s.appClockA.Store(s.appClock)
 	}
 	h := s.schedHash
 	h ^= uint64(t.id)
@@ -767,8 +937,15 @@ func (t *Thread) Exit() {
 
 type joinKey struct{ t *Thread }
 
-// Join blocks the caller until target exits. A scheduled operation.
+// Join blocks the caller until target exits. A scheduled operation. Join
+// does not span lanes: a cross-lane join would couple two lanes' schedules
+// through a wait queue; apps join threads from their own lane (or simply
+// let per-lane pools run until Kill).
 func (t *Thread) Join(target *Thread) {
+	if target.s != t.s {
+		panic(fmt.Sprintf("dmt: cross-lane Join (thread %q in lane %d joining %q in lane %d)",
+			t.name, t.s.laneID, target.name, target.s.laneID))
+	}
 	t.GetTurn()
 	t.Admit()
 	s := t.s
@@ -865,7 +1042,7 @@ func (s *Scheduler) idleLoop(t *Thread) {
 			panic(killedPanic{})
 		}
 		alone := s.runqLenA.Load() == 1 && s.reentryLenA.Load() == 0
-		busy := s.gate != nil && gateBusy(s.gate)
+		busy := s.gate != nil && s.gateBusy()
 		t.PutTurn()
 		if alone && !busy {
 			busySpins = 0
@@ -896,8 +1073,24 @@ func (s *Scheduler) idleLoop(t *Thread) {
 // sleeping.
 type BusyGate interface{ Busy() bool }
 
-func gateBusy(g Gate) bool {
-	if b, ok := g.(BusyGate); ok {
+// LaneBusyGate refines BusyGate for multi-lane schedulers: lane L's idle
+// thread asks about lane L's pending work only, so one lane exhausting a
+// bubble does not keep every other lane's idle thread spinning.
+type LaneBusyGate interface{ BusyLane(lane int) bool }
+
+// LaneStampGate must be implemented by any gate installed on a multi-lane
+// scheduler. StampLane returns lane L's cross-lane merge stamp: a monotone
+// count of the lane's position in its committed input stream (CRANE's gate
+// reports bubble clocks plus consumed client calls — see crane's
+// gate.StampLane for why that is the only replica-deterministic choice).
+// It is read lock-free by other lanes while they poll for their merge turn.
+type LaneStampGate interface{ StampLane(lane int) uint64 }
+
+func (s *Scheduler) gateBusy() bool {
+	if b, ok := s.gate.(LaneBusyGate); ok {
+		return b.BusyLane(s.laneID)
+	}
+	if b, ok := s.gate.(BusyGate); ok {
 		return b.Busy()
 	}
 	return false

@@ -42,7 +42,8 @@ type Event struct {
 	Thread int    // deterministic thread id
 	Name   string // thread debug name
 	Object any    // the synchronization object (mutex, rwmutex, cond)
-	Clock  uint64 // logical clock at the event
+	Clock  uint64 // logical clock of the thread's lane at the event
+	Lane   int    // lane the event occurred in (0 unless SetLanes configured more)
 }
 
 // Observer receives events in deterministic schedule order. It is called
@@ -61,5 +62,6 @@ func (t *Thread) observe(kind EventKind, obj any) {
 	if s.observer == nil {
 		return
 	}
-	s.observer(Event{Kind: kind, Thread: t.id, Name: t.name, Object: obj, Clock: s.clockA.Load()})
+	s.observer(Event{Kind: kind, Thread: t.id, Name: t.name, Object: obj,
+		Clock: s.clockA.Load(), Lane: s.laneID})
 }

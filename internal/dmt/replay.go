@@ -26,6 +26,7 @@ type Schedule struct {
 	mu      sync.Mutex
 	threads []int32
 	ops     []byte
+	clocks  []uint64 // lane clock at each op (divergence diagnostics)
 }
 
 // Len returns the number of recorded operations.
@@ -42,20 +43,59 @@ func (sc *Schedule) Step(i int) (thread int, op byte) {
 	return int(sc.threads[i]), sc.ops[i]
 }
 
-func (sc *Schedule) append(thread int, op byte) {
+// StepClock returns the lane clock recorded at position i.
+func (sc *Schedule) StepClock(i int) uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.clocks[i]
+}
+
+func (sc *Schedule) append(thread int, op byte, clock uint64) {
 	sc.mu.Lock()
 	sc.threads = append(sc.threads, int32(thread))
 	sc.ops = append(sc.ops, op)
+	sc.clocks = append(sc.clocks, clock)
 	sc.mu.Unlock()
 }
 
 // StartRecording begins capturing the schedule. Call before Start.
+// Recording captures one total order, so it requires the single-lane
+// configuration (record with 1 lane; SetLanes and recording are mutually
+// exclusive).
 func (s *Scheduler) StartRecording() *Schedule {
 	sc := &Schedule{}
 	s.mu.Lock()
+	if s.lanes != nil || s.group != nil {
+		s.mu.Unlock()
+		panic("dmt: StartRecording requires the single-lane configuration")
+	}
 	s.recording = sc
 	s.mu.Unlock()
 	return sc
+}
+
+// StartLaneRecordings begins capturing one schedule per lane. Call on the
+// root scheduler after SetLanes and before Start. Each lane's schedule is
+// a deterministic total order on its own; there is no meaningful total
+// order *across* lanes (their interleaving is physically timed), which is
+// why multi-lane recordings cannot feed SetReplay — they exist for
+// cross-replica divergence diagnostics.
+func (s *Scheduler) StartLaneRecordings() []*Schedule {
+	if s.group != nil {
+		panic("dmt: StartLaneRecordings must be called on the root scheduler")
+	}
+	if s.lanes == nil {
+		return []*Schedule{s.StartRecording()}
+	}
+	recs := make([]*Schedule, len(s.lanes))
+	for i, ln := range s.lanes {
+		sc := &Schedule{}
+		ln.mu.Lock()
+		ln.recording = sc
+		ln.mu.Unlock()
+		recs[i] = sc
+	}
+	return recs
 }
 
 // SetReplay makes the scheduler follow a recorded schedule. Call before
@@ -64,6 +104,10 @@ func (s *Scheduler) StartRecording() *Schedule {
 // is the same program).
 func (s *Scheduler) SetReplay(sc *Schedule) {
 	s.mu.Lock()
+	if s.lanes != nil || s.group != nil {
+		s.mu.Unlock()
+		panic("dmt: SetReplay requires the single-lane configuration")
+	}
 	s.replay = sc
 	s.replayPos = 0
 	s.mu.Unlock()
@@ -78,7 +122,7 @@ var ErrReplayDiverged = errors.New("dmt: replay diverged from recorded schedule"
 // varies with physical timing).
 func (s *Scheduler) recordLocked(t *Thread, op byte) {
 	if s.recording != nil && !t.isIdle {
-		s.recording.append(t.id, op)
+		s.recording.append(t.id, op, s.clock)
 	}
 }
 

@@ -140,8 +140,8 @@ func TestReplayDivergenceDetected(t *testing.T) {
 // TestScheduleAccessors covers Schedule's small API.
 func TestScheduleAccessors(t *testing.T) {
 	sc := &Schedule{}
-	sc.append(7, 'P')
-	sc.append(8, 'W')
+	sc.append(7, 'P', 1)
+	sc.append(8, 'W', 2)
 	if sc.Len() != 2 {
 		t.Fatalf("Len = %d", sc.Len())
 	}

@@ -19,12 +19,20 @@ package dmt
 type Mutex struct {
 	locked bool
 	owner  *Thread
+	lane   int32  // 1-based lane binding (lanes.go); 0 = unbound → cross-lane when lanes > 1
 	wkey   uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // Lock acquires m, blocking deterministically (Fig. 9's try-lock loop:
 // never block while holding the token).
 func (t *Thread) Lock(m *Mutex) {
+	if t.s.cross != nil {
+		if m.lane == 0 {
+			t.crossLock(m)
+			return
+		}
+		t.assertLane(m.lane, "Mutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	for m.locked {
@@ -38,6 +46,12 @@ func (t *Thread) Lock(m *Mutex) {
 
 // TryLock attempts to acquire m without blocking; it reports success.
 func (t *Thread) TryLock(m *Mutex) bool {
+	if t.s.cross != nil {
+		if m.lane == 0 {
+			return t.crossTryLock(m)
+		}
+		t.assertLane(m.lane, "Mutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	ok := !m.locked
@@ -52,6 +66,13 @@ func (t *Thread) TryLock(m *Mutex) bool {
 
 // Unlock releases m and wakes the first deterministic waiter.
 func (t *Thread) Unlock(m *Mutex) {
+	if t.s.cross != nil {
+		if m.lane == 0 {
+			t.crossUnlock(m)
+			return
+		}
+		t.assertLane(m.lane, "Mutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	if !m.locked {
@@ -73,12 +94,25 @@ func (t *Thread) Unlock(m *Mutex) {
 // here would make distinct heap-allocated condition variables compare
 // equal and alias onto one wait queue.
 type Cond struct {
+	lane int32  // 1-based lane binding (lanes.go); 0 = unbound
 	wkey uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // CondWait atomically releases m and blocks on c; on wake-up it
 // re-acquires m before returning (pthread_cond_wait).
+//
+// Condition variables do not span lanes: wait-table keys are per-lane, so
+// a cond used from two lanes would alias onto unrelated wait queues. When
+// lanes exist, both the cond and its mutex must be lane-bound (papi's
+// NewCond binds to the creating thread's lane by default).
 func (t *Thread) CondWait(c *Cond, m *Mutex) {
+	if t.s.cross != nil {
+		if c.lane == 0 || m.lane == 0 {
+			panic("dmt: CondWait requires lane-bound Cond and Mutex when lanes > 1")
+		}
+		t.assertLane(c.lane, "Cond")
+		t.assertLane(m.lane, "Mutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	if !m.locked || m.owner != t {
@@ -102,6 +136,9 @@ func (t *Thread) CondWait(c *Cond, m *Mutex) {
 
 // CondSignal wakes one waiter on c (pthread_cond_signal).
 func (t *Thread) CondSignal(c *Cond) {
+	if t.s.cross != nil {
+		t.assertLane(c.lane, "Cond")
+	}
 	t.GetTurn()
 	t.Admit()
 	t.observe(EvCondSignal, c)
@@ -111,6 +148,9 @@ func (t *Thread) CondSignal(c *Cond) {
 
 // CondBroadcast wakes all waiters on c (pthread_cond_broadcast).
 func (t *Thread) CondBroadcast(c *Cond) {
+	if t.s.cross != nil {
+		t.assertLane(c.lane, "Cond")
+	}
 	t.GetTurn()
 	t.Admit()
 	t.observe(EvCondBroadcast, c)
@@ -124,11 +164,19 @@ func (t *Thread) CondBroadcast(c *Cond) {
 type RWMutex struct {
 	readers int
 	writer  bool
+	lane    int32  // 1-based lane binding (lanes.go); 0 = unbound → cross-lane when lanes > 1
 	wkey    uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
 // RLock acquires a read lock.
 func (t *Thread) RLock(rw *RWMutex) {
+	if t.s.cross != nil {
+		if rw.lane == 0 {
+			t.crossRLock(rw)
+			return
+		}
+		t.assertLane(rw.lane, "RWMutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	for rw.writer {
@@ -141,6 +189,13 @@ func (t *Thread) RLock(rw *RWMutex) {
 
 // RUnlock releases a read lock.
 func (t *Thread) RUnlock(rw *RWMutex) {
+	if t.s.cross != nil {
+		if rw.lane == 0 {
+			t.crossRUnlock(rw)
+			return
+		}
+		t.assertLane(rw.lane, "RWMutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	if rw.readers <= 0 {
@@ -157,6 +212,13 @@ func (t *Thread) RUnlock(rw *RWMutex) {
 
 // WLock acquires the write lock.
 func (t *Thread) WLock(rw *RWMutex) {
+	if t.s.cross != nil {
+		if rw.lane == 0 {
+			t.crossWLock(rw)
+			return
+		}
+		t.assertLane(rw.lane, "RWMutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	for rw.writer || rw.readers > 0 {
@@ -170,6 +232,13 @@ func (t *Thread) WLock(rw *RWMutex) {
 // WUnlock releases the write lock and wakes all waiters (they re-check,
 // so a mix of pending readers and writers resolves deterministically).
 func (t *Thread) WUnlock(rw *RWMutex) {
+	if t.s.cross != nil {
+		if rw.lane == 0 {
+			t.crossWUnlock(rw)
+			return
+		}
+		t.assertLane(rw.lane, "RWMutex")
+	}
 	t.GetTurn()
 	t.Admit()
 	if !rw.writer {
@@ -193,6 +262,7 @@ type SoftBarrier struct {
 	timeout  uint64 // ticks
 	arrived  int
 	deadline uint64 // clock value at which the current group releases
+	lane     int32  // 1-based lane binding, set by the first arriver; 0 = unbound
 	wkey     uint64 // lazily assigned wait-table id (waitq.go); 0 = unassigned
 }
 
@@ -215,11 +285,21 @@ func (t *Thread) SoftBarrierArrive(sb *SoftBarrier) {
 	t.GetTurn()
 	t.Admit()
 	s := t.s
+	if s.cross != nil {
+		// A barrier lines up threads of one lane; it binds to its first
+		// arriver's lane (apps register one barrier instance per lane).
+		if sb.lane == 0 {
+			sb.lane = int32(s.laneID) + 1
+		} else {
+			t.assertLane(sb.lane, "SoftBarrier")
+		}
+	}
 	s.mu.Lock()
 	if sb.arrived == 0 {
 		sb.deadline = s.clock + sb.timeout
 		// Register for tick-driven timeout release.
 		s.barriers = append(s.barriers, sb)
+		s.activeBarriersA.Add(1)
 	}
 	sb.arrived++
 	full := sb.arrived >= sb.n
@@ -244,6 +324,7 @@ func (s *Scheduler) resetBarrierLocked(sb *SoftBarrier) {
 	for i, b := range s.barriers {
 		if b == sb {
 			s.barriers = append(s.barriers[:i], s.barriers[i+1:]...)
+			s.activeBarriersA.Add(-1)
 			break
 		}
 	}
@@ -266,6 +347,7 @@ func (s *Scheduler) releaseExpiredBarriersLocked() {
 		if sb.arrived > 0 && s.clock >= sb.deadline {
 			sb.arrived = 0
 			s.barriers = append(s.barriers[:i], s.barriers[i+1:]...)
+			s.activeBarriersA.Add(-1)
 			n := 0
 			for w := s.waitTakeLocked(s.keyOfLocked(sb)); w != nil; {
 				next := w.wnext

@@ -18,6 +18,9 @@
 //     internal/analysis.LockOrderChecker)
 //   - fsyncerr:  dropped or shadowed errors on WAL/commit durability paths
 //   - obsreg:    instrument registration on observation hot paths
+//   - laneconsistency: lane-bound papi sync objects (NewMutexLane and
+//     friends) used from threads of a different lane — conflict-map drift
+//     caught at lint time instead of by the runtime assertion
 //
 // Suppression: a finding may be deliberately accepted with a
 // "//crane:<analyzer>-ok <reason>" comment on the flagged line, the line
@@ -179,7 +182,8 @@ func replicated(path string, files []*ast.File) bool {
 
 // Analyzers is the cranevet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer, ObsRegAnalyzer}
+	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer,
+		ObsRegAnalyzer, LaneConsistencyAnalyzer}
 }
 
 // RunAnalyzers executes the given analyzers over the loaded packages and

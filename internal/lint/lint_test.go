@@ -41,6 +41,10 @@ func TestObsReg(t *testing.T) {
 	linttest.Run(t, testdata(t, "obsreg"), lint.ObsRegAnalyzer)
 }
 
+func TestLaneConsistency(t *testing.T) {
+	linttest.Run(t, testdata(t, "laneconsistency"), lint.LaneConsistencyAnalyzer)
+}
+
 // TestSuppressionRequiresReason checks that a reasonless
 // //crane:nondet-ok is rejected and does not silence the finding.
 func TestSuppressionRequiresReason(t *testing.T) {

@@ -1,0 +1,123 @@
+// Package laneconsistency exercises the laneconsistency analyzer: every
+// way a lane-bound papi synchronization object can drift into another
+// lane's threads, plus the patterns that must stay clean — unbound
+// (cross-lane) objects, in-lane use, Spawn inheritance, and variable-lane
+// setup loops of the kind the real servers use.
+package laneconsistency
+
+import "crane/internal/papi"
+
+// constLanes covers constant lane bindings: a mutex, cond, and rwmutex
+// bound to fixed lanes, used correctly and incorrectly from SpawnLane
+// closures and from a plain Spawn child (which inherits its parent's
+// lane).
+func constLanes(t papi.T) {
+	m0 := t.NewMutexLane(0)
+	m1 := t.NewMutexLane(1)
+	c1 := t.NewCondLane(1)
+	rw2 := t.NewRWMutexLane(2)
+	cross := t.NewMutex() // unbound: usable from any lane
+
+	t.SpawnLane(1, "w1", func(wt papi.T) {
+		m1.Lock(wt)
+		m1.Unlock(wt)
+		c1.Signal(wt)
+		cross.Lock(wt)
+		cross.Unlock(wt)
+		m0.Lock(wt)     // want `papi\.Mutex "m0" bound to lane 0 but Lock from a thread in lane 1`
+		m0.Unlock(wt)   // want `papi\.Mutex "m0" bound to lane 0 but Unlock from a thread in lane 1`
+		rw2.RLock(wt)   // want `papi\.RWMutex "rw2" bound to lane 2 but RLock from a thread in lane 1`
+		rw2.RUnlock(wt) // want `papi\.RWMutex "rw2" bound to lane 2 but RUnlock from a thread in lane 1`
+	})
+
+	t.SpawnLane(0, "w0", func(wt papi.T) {
+		m0.Lock(wt)
+		m0.Unlock(wt)
+		wt.Spawn("child", func(ct papi.T) { // children inherit lane 0
+			m0.Lock(ct)
+			m0.Unlock(ct)
+			c1.Broadcast(ct) // want `papi\.Cond "c1" bound to lane 1 but Broadcast from a thread in lane 0`
+		})
+	})
+}
+
+// varLanes is the per-lane setup loop the servers use: objects bound to a
+// lane variable are fine in that lane's closures and drift when a closure
+// is spawned on a different lane variable.
+func varLanes(t papi.T, lanes int) {
+	for lane := 0; lane < lanes; lane++ {
+		lane := lane
+		other := (lane + 1) % lanes
+		mu := t.NewMutexLane(lane)
+		t.SpawnLane(lane, "same", func(wt papi.T) {
+			mu.Lock(wt)
+			mu.Unlock(wt)
+		})
+		t.SpawnLane(other, "drift", func(wt papi.T) {
+			if mu.TryLock(wt) { // want `papi\.Mutex "mu" bound to lane variable "lane" but TryLock from a thread in lane variable "other"`
+				mu.Unlock(wt) // want `papi\.Mutex "mu" bound to lane variable "lane" but Unlock from a thread in lane variable "other"`
+			}
+		})
+		// Mixed constant/variable comparisons are never definite (lane may
+		// be 0 here), so this stays clean.
+		t.SpawnLane(0, "maybe", func(wt papi.T) {
+			mu.Lock(wt)
+			mu.Unlock(wt)
+		})
+	}
+}
+
+// condBinding checks NewCond's implicit binding to the creating thread's
+// lane, including struct-field bindings from a composite literal.
+type mailbox struct {
+	mu   papi.Mutex
+	cond papi.Cond
+}
+
+func condBinding(t papi.T) {
+	var box mailbox
+	t.SpawnLane(2, "creator", func(wt papi.T) {
+		box = mailbox{
+			mu:   wt.NewMutexLane(2),
+			cond: wt.NewCond(), // binds to the creating thread's lane (2)
+		}
+		box.mu.Lock(wt)
+		box.cond.Signal(wt)
+		box.mu.Unlock(wt)
+	})
+	t.SpawnLane(1, "poker", func(wt papi.T) {
+		box.cond.Signal(wt) // want `papi\.Cond "cond" bound to lane 2 but Signal from a thread in lane 1`
+	})
+}
+
+// suppressed shows the deliberate-escape annotation: the binding
+// declaration line covers every use of the field.
+type shared struct {
+	//crane:laneconsistency-ok lane 0 drains this during shutdown only, after lane 3 quiesces
+	mu papi.Mutex
+}
+
+func suppressedUse(t papi.T) {
+	var s shared
+	s.mu = t.NewMutexLane(3)
+	t.SpawnLane(0, "drain", func(wt papi.T) {
+		s.mu.Lock(wt) // suppressed via the field-declaration annotation
+		s.mu.Unlock(wt)
+	})
+}
+
+// escaping closures run with unknown lane and are not checked: laneMain is
+// invoked both directly and from SpawnLane closures, like the servers'
+// bootstrap pattern.
+func escaping(t papi.T, lanes int) {
+	laneMain := func(lt papi.T, lane int) {
+		mu := lt.NewMutexLane(lane)
+		mu.Lock(lt)
+		mu.Unlock(lt)
+	}
+	for lane := 1; lane < lanes; lane++ {
+		lane := lane
+		t.SpawnLane(lane, "main", func(bt papi.T) { laneMain(bt, lane) })
+	}
+	laneMain(t, 0)
+}

@@ -32,6 +32,7 @@ type SpanEvent struct {
 	Stage   string
 	Wall    int64  // UnixNano
 	Logical uint64 // DMT logical clock (0 in non-DMT modes)
+	Lane    int    // execution lane the stage ran in (0 unless lanes configured)
 }
 
 // Tracer is a bounded in-memory ring of lifecycle events, dumpable as
@@ -121,6 +122,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		line = strconv.AppendInt(line, ev.Wall, 10)
 		line = append(line, `,"logical":`...)
 		line = strconv.AppendUint(line, ev.Logical, 10)
+		line = append(line, `,"lane":`...)
+		line = strconv.AppendInt(line, int64(ev.Lane), 10)
 		line = append(line, '}', '\n')
 		if _, err := w.Write(line); err != nil {
 			return err

@@ -25,6 +25,7 @@ type NondetProc struct {
 	killCh      chan struct{}
 	wg          sync.WaitGroup
 	socketLayer SocketLayer
+	lanes       int // structural lane count; plain goroutines need no domains
 }
 
 // nondetKilled is the sentinel thrown through threads parked on condition
@@ -47,6 +48,18 @@ func NewNondetProc(net *simnet.Network, host string, fs *cfs.FS) *NondetProc {
 		fs = cfs.New()
 	}
 	return &NondetProc{net: net, host: host, fs: fs, killCh: make(chan struct{})}
+}
+
+// SetLanes records the lane count for the structural lane API. The
+// baseline runtime has no token domains — goroutines already run in
+// parallel — so lanes only shape Lanes()/Lane() partitioning decisions the
+// app makes; all lane-tagged spawns and sync objects degrade to the plain
+// variants.
+func (p *NondetProc) SetLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.lanes = n
 }
 
 // Start launches the program's main thread.
@@ -135,6 +148,23 @@ func (t *nondetT) NewCond() Cond {
 }
 
 func (t *nondetT) NewRWMutex() RWMutex { return &nondetRW{} }
+
+func (t *nondetT) Lanes() int {
+	if t.p.lanes < 1 {
+		return 1
+	}
+	return t.p.lanes
+}
+
+func (t *nondetT) Lane(key uint64) int { return int(key % uint64(t.Lanes())) }
+
+func (t *nondetT) SpawnLane(lane int, name string, fn func(T)) Handle {
+	return t.Spawn(name, fn)
+}
+
+func (t *nondetT) NewMutexLane(lane int) Mutex     { return t.NewMutex() }
+func (t *nondetT) NewCondLane(lane int) Cond       { return t.NewCond() }
+func (t *nondetT) NewRWMutexLane(lane int) RWMutex { return t.NewRWMutex() }
 
 // SoftBarrier hints are ignored by the plain runtime (they are "soft" by
 // contract and only influence DMT schedules).

@@ -43,6 +43,29 @@ type T interface {
 	// timeout on first use (§7.4's two-line performance hints).
 	SoftBarrier(id string, n int, timeoutTicks uint64) Barrier
 
+	// Lanes returns the number of parallel execution lanes this process
+	// runs with: 1 unless the program declares a ConflictMap and the
+	// deployment enables more. Lane indices range over [0, Lanes()).
+	Lanes() int
+	// Lane maps a conflict key (a table id, connection id, path hash —
+	// whatever the program's ConflictMap partitions on) to a lane index.
+	Lane(key uint64) int
+	// SpawnLane creates a thread pinned to the given lane. Threads of
+	// different lanes run concurrently; only lane-bound synchronization
+	// stays on the fast in-lane path, while unbound objects go through the
+	// deterministic cross-lane merge. With Lanes()==1 it is Spawn.
+	SpawnLane(lane int, name string, fn func(T)) Handle
+	// NewMutexLane, NewCondLane, NewRWMutexLane create synchronization
+	// objects bound to a lane: usable only by that lane's threads
+	// (enforced at runtime and by cranevet's laneconsistency analyzer),
+	// in exchange for never paying the cross-lane merge. NewMutex and
+	// NewRWMutex create *cross-lane* (merge-ordered) objects when lanes
+	// exist; NewCond binds to the creating thread's lane, since condition
+	// variables cannot span lanes.
+	NewMutexLane(lane int) Mutex
+	NewCondLane(lane int) Cond
+	NewRWMutexLane(lane int) RWMutex
+
 	// Listen binds the server's listening socket for port.
 	Listen(port int) (Listener, error)
 
@@ -140,6 +163,24 @@ type Instance interface {
 	Restore([]byte) error
 }
 
+// ConflictMap is a program's declaration of its commutativity structure —
+// the conflict-aware parallelism of "Rethinking State-Machine Replication
+// for Parallelism" (Marandi et al.) surfaced as a first-class API. A
+// program that declares one states: requests routed to different lanes
+// never conflict except through explicitly cross-lane (unbound)
+// synchronization objects, so the runtime may execute the lanes'
+// deterministic schedules concurrently. Programs with no declaration run
+// on a single lane — the pre-lane behaviour, bit for bit — which is the
+// migration path: declare nothing, observe identical schedules, then add
+// lane partitioning incrementally.
+type ConflictMap struct {
+	// ConnLane routes an accepted connection to a lane (e.g. httpd's
+	// disjoint static paths per connection, mongoose's per-connection
+	// partitioning). Nil defaults to connID % lanes. Connection ids are
+	// replica-consistent under CRANE, so the routing is deterministic.
+	ConnLane func(connID uint64, lanes int) int
+}
+
 // Program describes a deployable server program.
 type Program struct {
 	// Name labels logs and benchmarks.
@@ -151,6 +192,36 @@ type Program struct {
 	Install func(fs *cfs.FS)
 	// New creates a fresh instance bound to the replica's filesystem.
 	New func(fs *cfs.FS) Instance
+	// Conflict declares the program's conflict structure. Nil means
+	// undeclared: the deployment forces a single lane regardless of its
+	// configured lane count.
+	Conflict *ConflictMap
+}
+
+// ConnLaneOf resolves the lane for a connection under this program's
+// conflict map (identity modulo lanes when no custom router is declared).
+func (p *Program) ConnLaneOf(connID uint64, lanes int) int {
+	if lanes <= 1 {
+		return 0
+	}
+	if p.Conflict != nil && p.Conflict.ConnLane != nil {
+		lane := p.Conflict.ConnLane(connID, lanes)
+		return ((lane % lanes) + lanes) % lanes
+	}
+	return int(connID % uint64(lanes))
+}
+
+// EffectiveLanes clamps a deployment's requested lane count to what the
+// program declared: 1 when it has no ConflictMap (the safe fallback), the
+// requested count otherwise.
+func (p *Program) EffectiveLanes(requested int) int {
+	if requested < 1 {
+		requested = 1
+	}
+	if p.Conflict == nil {
+		return 1
+	}
+	return requested
 }
 
 // FuncInstance adapts a bare App into an Instance with no process state.

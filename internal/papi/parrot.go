@@ -44,6 +44,12 @@ func NewParrotProc(net *simnet.Network, host string, fs *cfs.FS) *ParrotProc {
 	}
 }
 
+// SetLanes configures n parallel execution lanes (dmt.SetLanes). Call
+// before Start; n <= 1 keeps the single-token configuration. Only programs
+// that declare a papi.ConflictMap should run with more than one lane (use
+// Program.EffectiveLanes to clamp).
+func (p *ParrotProc) SetLanes(n int) { p.Sched.SetLanes(n) }
+
 // Start launches the scheduler's idle thread and the program's main thread.
 func (p *ParrotProc) Start(inst Instance) {
 	p.Sched.Start()
@@ -108,9 +114,48 @@ func (t *parrotT) Join(h Handle) {
 	}
 }
 
-func (t *parrotT) NewMutex() Mutex     { return &parrotMutex{} }
-func (t *parrotT) NewCond() Cond       { return &parrotCond{} }
+func (t *parrotT) Lanes() int { return t.p.Sched.Lanes() }
+
+func (t *parrotT) Lane(key uint64) int {
+	return int(key % uint64(t.p.Sched.Lanes()))
+}
+
+func (t *parrotT) SpawnLane(lane int, name string, fn func(T)) Handle {
+	child := t.p.Sched.SpawnLane(t.th, lane, name, func(th *dmt.Thread) {
+		fn(&parrotT{p: t.p, th: th})
+	})
+	return &parrotHandle{th: child}
+}
+
+// NewMutex and NewRWMutex stay unbound: safe from any lane, merge-ordered
+// when lanes exist. NewCond binds to the creating thread's lane — condition
+// variables cannot span lanes (wait queues are per-lane), so a cond shared
+// across lanes must be replaced by per-lane conds via NewCondLane.
+func (t *parrotT) NewMutex() Mutex { return &parrotMutex{} }
+func (t *parrotT) NewCond() Cond {
+	pc := &parrotCond{}
+	pc.c.BindLane(t.th.LaneID())
+	return pc
+}
 func (t *parrotT) NewRWMutex() RWMutex { return &parrotRW{} }
+
+func (t *parrotT) NewMutexLane(lane int) Mutex {
+	pm := &parrotMutex{}
+	pm.m.BindLane(lane)
+	return pm
+}
+
+func (t *parrotT) NewCondLane(lane int) Cond {
+	pc := &parrotCond{}
+	pc.c.BindLane(lane)
+	return pc
+}
+
+func (t *parrotT) NewRWMutexLane(lane int) RWMutex {
+	pr := &parrotRW{}
+	pr.rw.BindLane(lane)
+	return pr
+}
 
 func (t *parrotT) SoftBarrier(id string, n int, timeoutTicks uint64) Barrier {
 	t.p.mu.Lock()
@@ -130,11 +175,12 @@ func (t *parrotT) Work(units int) { BurnWork(units) }
 // DetEpoch anchors deterministic time (the paper's publication date).
 var DetEpoch = time.Date(2015, time.October, 4, 0, 0, 0, 0, time.UTC)
 
-// Now returns deterministic time: the logical clock advanced at 1µs per
-// scheduled operation from a fixed epoch. Identical on every replica at
-// the same execution point.
+// Now returns deterministic time: the calling thread's lane clock advanced
+// at 1µs per scheduled operation from a fixed epoch. Identical on every
+// replica at the same execution point (with one lane, the lane clock is
+// the global logical clock).
 func (t *parrotT) Now() time.Time {
-	return DetEpoch.Add(time.Duration(t.p.Sched.Clock()) * time.Microsecond)
+	return DetEpoch.Add(time.Duration(t.th.LaneClock()) * time.Microsecond)
 }
 
 func (t *parrotT) Killed() bool { return t.p.Sched.Killed() }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crane/internal/obs"
@@ -199,6 +200,10 @@ type Sequence struct {
 	bubbleClocks  uint64
 	consumedCalls uint64
 	payloadBytes  uint64
+	// progressA mirrors bubbleClocks + consumedCalls: the sequence's
+	// consumption position. Atomic so other lanes' merge polls read it
+	// lock-free (see Progress).
+	progressA atomic.Uint64
 
 	// queueWait measures enqueue -> full consumption per client call (the
 	// DMT-turn wait a request spends in the sequence). consumedHook fires
@@ -315,6 +320,7 @@ func (s *Sequence) TickBubble() bool {
 	if e.NClock > 0 {
 		e.NClock--
 		s.bubbleClocks++
+		s.progressA.Add(1)
 	}
 	if e.NClock == 0 {
 		s.popLocked()
@@ -333,6 +339,7 @@ func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
 	e := s.headLocked()
 	s.popLocked()
 	s.consumedCalls++
+	s.progressA.Add(1)
 	return e.Conn, e.Port, true
 }
 
@@ -369,12 +376,14 @@ func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 		}
 		s.popLocked()
 		s.consumedCalls++
+		s.progressA.Add(1)
 	}
 	if n == 0 && s.pendingLocked() > 0 {
 		e := s.headLocked()
 		if e.Kind == KindClose && e.Conn == conn {
 			s.popLocked()
 			s.consumedCalls++
+			s.progressA.Add(1)
 			return 0, true
 		}
 	}
@@ -396,8 +405,18 @@ func (s *Sequence) PopIfConn(conn uint64) bool {
 	}
 	s.popLocked()
 	s.consumedCalls++
+	s.progressA.Add(1)
 	return true
 }
+
+// Progress returns the sequence's consumption position: total bubble
+// clocks plus fully consumed client calls. Because both advance only as
+// entries of the committed stream are consumed — never on enqueue, never
+// on a partial SEND read — the value is a pure function of how far the
+// consumer has worked through the decided prefix, which makes it
+// replica-deterministic at every consumer operation. CRANE's gate reports
+// it as the cross-lane merge stamp (dmt.LaneStampGate). Lock-free.
+func (s *Sequence) Progress() uint64 { return s.progressA.Load() }
 
 func (s *Sequence) popLocked() {
 	e := s.entries[s.head]
