@@ -22,11 +22,12 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at full scale (slower, closer to the paper's 1K-request runs)")
-	only := flag.String("only", "", "comma-separated subset: fig14,table1,fig15,fig16,fig17,table2,consistency,election,ablation,observability,lanes")
+	only := flag.String("only", "", "comma-separated subset: fig14,table1,fig15,fig16,fig17,table2,consistency,election,ablation,observability,lanes,speculation")
 	runs := flag.Int("consistency-runs", 10, "runs per consistency plan (paper: 100)")
 	obsOut := flag.String("obs-out", "BENCH_observability.json", "where the observability cell writes its report")
 	lanes := flag.Int("lanes", 1, "execution lanes for DMT-mode cells (programs without a papi.ConflictMap still run single-lane)")
 	lanesOut := flag.String("lanes-out", "BENCH_lanes.json", "where the lanes cell writes its report")
+	specOut := flag.String("speculation-out", "BENCH_speculation.json", "where the speculation cell writes its report")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 
@@ -171,6 +172,44 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(out, "wrote %s\n", *lanesOut)
+	}
+	if sel("speculation") {
+		fmt.Fprintln(out, "== Speculative execution: admit-to-exec latency vs commit wait (ISSUE 7) ==")
+		cells, err := bench.SpeculationSweep(scale, out)
+		if err != nil {
+			fail(err)
+		}
+		report := struct {
+			Description string           `json:"description"`
+			Date        string           `json:"date"`
+			Scale       string           `json:"scale"`
+			Cells       []bench.SpecCell `json:"cells"`
+		}{
+			Description: "Admit-to-exec latency (proxy admission of a socket call to its DMT-turn " +
+				"consumption by the server) with speculative execution off and on, with and " +
+				"without synchronous WAL appends. The cluster's consensus hub is slowed to " +
+				"~800us one-way so a commit round costs ~2ms: with speculation off the server " +
+				"cannot touch an admitted call until that round completes, so admit-to-exec " +
+				"p50 IS the commit latency; with speculation on the proposing replica's DMT " +
+				"consumes the call on its next scheduler turn while the Accept round is still " +
+				"in flight, and the commit usually confirms what already ran (spec_hits). " +
+				"WAL fsync stretches the commit round — exactly the window speculation hides — " +
+				"so the speedup grows in the sync column. Client-visible effects are buffered " +
+				"until the window confirms, so end-to-end client medians stay commit-bound; " +
+				"the win is server-side pipelining (the next request's work overlaps the " +
+				"previous one's commit wait).",
+			Date:  time.Now().Format("2006-01-02"),
+			Scale: fmt.Sprintf("requests=%d serial", scale.Requests),
+			Cells: cells,
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*specOut, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", *specOut)
 	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Second))
 }

@@ -71,7 +71,12 @@ func Program(cfg Config) papi.Program {
 		// round-robin across lanes approximates a per-table partition. The
 		// catalog and per-table locks stay cross-lane (unbound), keeping
 		// cross-partition statements correct — just slower, as in the paper.
-		Conflict: &papi.ConflictMap{},
+		// The SysBench working set is one shared table whose reader-writer
+		// lock every session crosses lanes for, so lanes beyond two only
+		// multiply the bubble-paced merge waits each cross-lane acquire
+		// pays (the 8-lane regression in BENCH_lanes.json); MaxUseful caps
+		// a deployment's request at the measured sweet spot.
+		Conflict: &papi.ConflictMap{MaxUseful: 2},
 	}
 }
 

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"crane/internal/apps/clients"
+	"crane/internal/apps/httpd"
+	"crane/internal/crane"
+	"crane/internal/papi"
+)
+
+// SpecCell is one (speculation, WAL sync) cell of the speculation sweep:
+// the admit-to-exec quantiles are the headline — the latency between the
+// proxy admitting a socket call and the server's DMT turn consuming it,
+// which speculation shortens from a full Paxos commit round to the
+// scheduler's next turn.
+type SpecCell struct {
+	Speculation bool `json:"speculation"`
+	WALSync     bool `json:"wal_sync"`
+
+	AdmitToExecP50Ns   int64 `json:"admit_to_exec_p50_ns"`
+	AdmitToExecP99Ns   int64 `json:"admit_to_exec_p99_ns"`
+	AdmitToCommitP50Ns int64 `json:"admit_to_commit_p50_ns"`
+
+	MedianNs int64 `json:"client_median_ns"`
+	Requests int   `json:"requests"`
+	Errors   int   `json:"errors"`
+
+	Windows   uint64 `json:"spec_windows"`
+	Hits      uint64 `json:"spec_hits"`
+	Aborts    uint64 `json:"spec_aborts"`
+	Rollbacks uint64 `json:"spec_rollbacks"`
+}
+
+// specBenchSpec is the speculation cell's workload: light pages over a
+// deliberately slow consensus link (hub latency raised to ~2ms), so the
+// admit-to-exec gap is dominated by the Accept round — the cost
+// speculation removes — rather than by page execution.
+func specBenchSpec() AppSpec {
+	return AppSpec{
+		Name: "Apache", Port: 8080,
+		Program: func(bool) papi.Program {
+			cfg := httpd.DefaultConfig()
+			cfg.Workers = 4
+			cfg.PHPChunks = 4
+			cfg.PHPChunkWork = 200
+			cfg.CacheEnabled = false
+			cfg.WithDate = false
+			return httpd.Program(cfg)
+		},
+		Workload: func(d clients.Dialer, s Scale) clients.Summary {
+			// Serial: each request's speculation window confirms before the
+			// next opens, so hits are attributable request by request.
+			return clients.ApacheBench(d, 8080, "/page0.php", 1, s.Requests)
+		},
+	}
+}
+
+// specClusterConfig slows the consensus hub so a commit round costs ~6ms:
+// on this link the off-cell's admit-to-exec IS the commit latency, and
+// the on-cell's is the scheduler turn that no longer waits for it.
+// Wtimeout is raised above the serial client's inter-request gap so no
+// time bubble lands between a response and the next request's entries:
+// a 1000-clock bubble takes ~15ms of idle-thread turns to chew through,
+// and queueing behind one would swamp the commit wait both cells are
+// here to compare.
+func specClusterConfig(speculation, walSync bool, walDir string) crane.Config {
+	cfg := ClusterConfig(crane.ModeCrane)
+	cfg.Wtimeout = 5 * time.Millisecond
+	// Small bubbles: the idle thread chews one bubble clock per token
+	// turn (~15us), so a paper-default 1000-clock bubble ahead of a
+	// request costs ~15ms — noise that would bury the commit wait under
+	// study. 100 clocks keeps the chew ~1.5ms.
+	cfg.Nclock = 100
+	cfg.HubLatency = 2 * time.Millisecond
+	cfg.HubJitter = 200 * time.Microsecond
+	cfg.Speculation = speculation
+	cfg.WALDir = walDir
+	cfg.WALSync = walSync
+	return cfg
+}
+
+// SpeculationSweep measures admit-to-exec latency with speculation off and
+// on, with and without synchronous WAL appends (ISSUE 7). The WAL-sync
+// column exists because fsync stretches the commit round — exactly the
+// window speculation hides — so the speedup should grow with it.
+func SpeculationSweep(s Scale, w io.Writer) ([]SpecCell, error) {
+	spec := specBenchSpec()
+	var cells []SpecCell
+	for _, walSync := range []bool{false, true} {
+		for _, on := range []bool{false, true} {
+			walDir, err := os.MkdirTemp("", "crane-spec-bench")
+			if err != nil {
+				return cells, fmt.Errorf("bench: speculation: %w", err)
+			}
+			cell, err := runSpecCell(spec, s, on, walSync, walDir)
+			os.RemoveAll(walDir)
+			if err != nil {
+				return cells, err
+			}
+			cells = append(cells, cell)
+			if w != nil {
+				fmt.Fprintf(w, "Speculation %-5v wal-sync=%-5v admit-to-exec p50=%-10v p99=%-10v "+
+					"admit-to-commit p50=%-10v windows=%d hits=%d aborts=%d errors=%d\n",
+					on, walSync,
+					time.Duration(cell.AdmitToExecP50Ns).Round(time.Microsecond),
+					time.Duration(cell.AdmitToExecP99Ns).Round(time.Microsecond),
+					time.Duration(cell.AdmitToCommitP50Ns).Round(time.Microsecond),
+					cell.Windows, cell.Hits, cell.Aborts, cell.Errors)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func runSpecCell(spec AppSpec, s Scale, speculation, walSync bool, walDir string) (SpecCell, error) {
+	cfg := specClusterConfig(speculation, walSync, walDir)
+	cluster, err := crane.StartCluster(cfg, spec.Program(false))
+	if err != nil {
+		return SpecCell{}, fmt.Errorf("bench: speculation cell: %w", err)
+	}
+	defer cluster.Stop()
+	sum := spec.Workload(cluster.Dial, s)
+	primary, err := cluster.Primary()
+	if err != nil {
+		return SpecCell{}, fmt.Errorf("bench: speculation cell: %w", err)
+	}
+	cell := SpecCell{
+		Speculation: speculation,
+		WALSync:     walSync,
+		MedianNs:    int64(sum.Median),
+		Requests:    sum.Requests,
+		Errors:      sum.Errors,
+	}
+	st := primary.SpecStats()
+	cell.Windows, cell.Hits = st.Windows, st.Hits
+	cell.Aborts, cell.Rollbacks = st.Aborts, st.Rollbacks
+	for _, h := range primary.Obs().Histograms() {
+		snap := h.Snapshot()
+		switch snap.Name {
+		case "proxy_admit_to_exec_seconds":
+			cell.AdmitToExecP50Ns = int64(snap.P50)
+			cell.AdmitToExecP99Ns = int64(snap.P99)
+		case "proxy_admit_to_commit_seconds":
+			cell.AdmitToCommitP50Ns = int64(snap.P50)
+		}
+	}
+	return cell, nil
+}

@@ -85,6 +85,14 @@ type Config struct {
 	// deployment syncs to SSD). Off by default: simulation clusters favor
 	// speed, and the fsync instruments only move when this is on.
 	WALSync bool
+
+	// Speculation lets the primary execute admitted socket calls while
+	// their Accept round is still in flight, holding every externally
+	// visible effect until the commit confirms the speculated order —
+	// and rolling back to the last checkpoint boundary on the rare
+	// mismatch. Off by default; with it off the pipeline is bit-identical
+	// to the pre-speculation code. Only meaningful under ModeCrane.
+	Speculation bool
 }
 
 func (c *Config) setDefaults() {
@@ -308,6 +316,25 @@ func (c *Cluster) FailReplica(i int) {
 	c.replicas[i].stop()
 }
 
+// PartitionReplica cuts replica i off the consensus fabric without
+// stopping it: it keeps running (and, if it believes itself primary, keeps
+// admitting and speculating on client traffic — the client network is
+// separate from the consensus hub) but can no longer reach a quorum.
+// In-memory hub clusters only.
+func (c *Cluster) PartitionReplica(i int) {
+	if c.hub != nil {
+		c.hub.Disconnect(i)
+	}
+}
+
+// HealReplica reconnects a partitioned replica to the consensus fabric; it
+// adopts the surviving majority's view and commits their entries.
+func (c *Cluster) HealReplica(i int) {
+	if c.hub != nil {
+		c.hub.Reconnect(i)
+	}
+}
+
 // FailPrimary fails the current primary and returns its id.
 func (c *Cluster) FailPrimary() (int, error) {
 	p, err := c.Primary()
@@ -443,6 +470,7 @@ func (c *Cluster) DialAndRequest(client string, port int, req []byte, want int) 
 		if err != nil {
 			return nil, err
 		}
+		//crane:specleak-ok client-harness write: this is the test client's request to the server, not a server output
 		if _, err := conn.Write(req); err != nil {
 			conn.Close()
 			lastErr = err

@@ -45,6 +45,11 @@ type gate struct {
 	bubbling bool
 	// spinSleep bounds how hot the empty-sequence spin runs.
 	spinSleep time.Duration
+	// dead flips when a speculation rollback retires this gate: the old
+	// scheduler's threads spinning in the empty-sequence loop (their
+	// speculative entries were just truncated) must unwind so Kill/Wait
+	// can complete, even though the replica itself is not being killed.
+	dead atomic.Bool
 	// booted[L] flips when lane L's first application thread is admitted
 	// (nil when single-lane). Until then the lane's sequence is withheld:
 	// idle ticks consume nothing, so entries (bubble clones) pile up and
@@ -90,7 +95,7 @@ func (g *gate) CheckAdmit(t *dmt.Thread) {
 		// monopolizing low-core machines.
 		sleep := g.spinSleep
 		for sq.Empty() {
-			if g.r.killed() {
+			if g.r.killed() || g.dead.Load() {
 				return // the wrapper's next scheduler call unwinds
 			}
 			g.r.maybeRequestBubble()

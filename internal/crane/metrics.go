@@ -47,8 +47,8 @@ func (r *Replica) Metrics() Metrics {
 		m.View, m.ViewPrim = r.node.View()
 		m.CommitIdx = r.node.CommitIndex()
 	}
-	if r.pproc != nil {
-		st := r.pproc.Sched.Stats()
+	if pproc := r.proc(); pproc != nil {
+		st := pproc.Sched.Stats()
 		m.LogicalClock = st.Clock
 		m.TokenPasses = st.TokenPasses
 		m.Waits = st.Waits

@@ -27,6 +27,7 @@ type replicaObs struct {
 	mu         sync.Mutex
 	admitTimes map[uint64]time.Time // req -> admission time (admitting primary only)
 	connReq    map[uint64]uint64    // conn -> last consumed req (output attribution)
+	specExeced map[uint64]bool      // req -> consumed speculatively, commit pending
 
 	proxyAccepts  *obs.Counter   // socket calls admitted by the proxy
 	proxyRejects  *obs.Counter   // admissions refused (not primary / shutdown)
@@ -45,6 +46,7 @@ func newReplicaObs(r *Replica) *replicaObs {
 		tracer:     obs.NewTracer(r.cfg.TraceCapacity),
 		admitTimes: make(map[uint64]time.Time),
 		connReq:    make(map[uint64]uint64),
+		specExeced: make(map[uint64]bool),
 		proxyAccepts: reg.Counter("proxy_admitted_total",
 			"socket calls admitted by the proxy for consensus"),
 		proxyRejects: reg.Counter("proxy_rejected_total",
@@ -113,6 +115,28 @@ func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
 	if e.Req == 0 {
 		return
 	}
+	if e.Spec {
+		// Consumed ahead of commit: this IS the admit-to-exec moment — the
+		// latency the speculation layer exists to shorten. The admit time
+		// stays mapped (recordConfirmed cleans it up at commit, so
+		// admit-to-commit still measures) and the consumed stage is
+		// deferred to confirmation, when the consensus index is known.
+		// Reading e.Spec here is safe: the hook runs under the sequence
+		// lock, the same lock ClearSpec mutates the flag under.
+		ro.mu.Lock()
+		t0, ok := ro.admitTimes[e.Req]
+		ro.specExeced[e.Req] = true
+		if e.Conn != 0 {
+			ro.connReq[e.Conn] = e.Req
+		}
+		ro.mu.Unlock()
+		if ok {
+			ro.admitToExec.Since(t0)
+		}
+		ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn,
+			Stage: obs.StageSpecExec, Logical: logical, Lane: lane})
+		return
+	}
 	ro.mu.Lock()
 	t0, ok := ro.admitTimes[e.Req]
 	if ok {
@@ -127,6 +151,43 @@ func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
 	}
 	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index,
 		Stage: obs.StageConsumed, Logical: logical, Lane: lane})
+}
+
+// recordConfirmed closes the loop on a speculatively consumed entry: its
+// commit arrived and matched. Emits the consumed stage (now that the
+// consensus index exists) and releases the admit-time entry. No-ops when
+// the entry was not consumed speculatively — the race where the commit
+// confirms while consumption is mid-flight resolves to the normal path
+// (ClearSpec flips the flag before the pop, so the consumption hook
+// records everything itself).
+func (ro *replicaObs) recordConfirmed(req, conn, index uint64) {
+	if req == 0 {
+		return
+	}
+	ro.mu.Lock()
+	wasSpec := ro.specExeced[req]
+	if wasSpec {
+		delete(ro.specExeced, req)
+		delete(ro.admitTimes, req)
+	}
+	ro.mu.Unlock()
+	if wasSpec {
+		ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Index: index,
+			Stage: obs.StageConsumed})
+	}
+}
+
+// dropSpec forgets an aborted speculative entry's bookkeeping so its
+// eventual replayed consumption (under the repaired committed order) does
+// not record a bogus admit-to-exec latency.
+func (ro *replicaObs) dropSpec(req uint64) {
+	if req == 0 {
+		return
+	}
+	ro.mu.Lock()
+	delete(ro.specExeced, req)
+	delete(ro.admitTimes, req)
+	ro.mu.Unlock()
 }
 
 // recordOutput marks a server response on conn. Outputs carry no request id

@@ -183,8 +183,26 @@ func (p *proxy) submitLoop() {
 		for i, r := range reqs {
 			ents[i] = r.e
 		}
+		// Speculation: hand the burst to the execution pipeline before the
+		// Accept round even starts — the commit usually confirms what
+		// already ran.
+		fed := false
+		if p.r.spec != nil {
+			fed = p.r.spec.feed(ents)
+		}
 		payloads, err := seq.EncodeBatch(ents)
 		ok := err == nil && p.r.node.ProposeBatch(payloads) == nil
+		if p.r.spec != nil {
+			if !ok {
+				// A propose failure means lost primaryship; nothing
+				// speculated or in flight can ever commit.
+				p.r.spec.proposeFailed()
+			} else if !fed {
+				// Proposed but not fed: these entries enqueue at commit
+				// time, so speculation must stay off until they land.
+				p.r.spec.unfedProposed(len(ents))
+			}
+		}
 		if ok {
 			p.r.ro.burstSize.ObserveValue(uint64(len(ents)))
 			for _, e := range ents {
@@ -204,7 +222,7 @@ func (p *proxy) forward(id uint64, data []byte) {
 	c := p.conns[id]
 	p.mu.Unlock()
 	if c != nil {
-		c.Write(data)
+		c.Write(data) //crane:specleak-ok forward is the gate's sink: callers reach it only from emitOutput or the speculator's flush, after the window confirmed
 	}
 }
 

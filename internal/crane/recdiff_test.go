@@ -33,7 +33,7 @@ func runDetOnceRec(t *testing.T) (sum uint64, rec *dmt.Schedule) {
 		waitScheduleStable(t, cluster)
 	}
 	r := cluster.Replica(0)
-	return r.pproc.Sched.Stats().ScheduleSum, r.schedRec
+	return r.proc().Sched.Stats().ScheduleSum, r.schedRec
 }
 
 func TestSchedDivergenceDebug(t *testing.T) {
@@ -212,8 +212,8 @@ func TestHTTPDLaneSchedDivergenceDebug(t *testing.T) {
 	waitLanesSettled(t, c, outs)
 	for lane := 0; lane < 4; lane++ {
 		for ri := 1; ri < c.Replicas(); ri++ {
-			got := c.Replica(ri).pproc.Sched.LaneStats(lane).ScheduleSum
-			want := c.Replica(0).pproc.Sched.LaneStats(lane).ScheduleSum
+			got := c.Replica(ri).proc().Sched.LaneStats(lane).ScheduleSum
+			want := c.Replica(0).proc().Sched.LaneStats(lane).ScheduleSum
 			if got != want {
 				t.Errorf("replica %d lane %d ScheduleSum %#x != replica 0 %#x", ri, lane, got, want)
 			}
@@ -222,7 +222,7 @@ func TestHTTPDLaneSchedDivergenceDebug(t *testing.T) {
 	diffLaneRecs(t, c, 4)
 	if t.Failed() {
 		for ri := 0; ri < c.Replicas(); ri++ {
-			for i, e := range c.Replica(ri).pproc.Sched.CrossDebugLog() {
+			for i, e := range c.Replica(ri).proc().Sched.CrossDebugLog() {
 				t.Logf("replica %d cross[%d]: lane=%d thread=%d stamp=%d app=%d",
 					ri, i, e.Lane, e.Thread, e.Stamp, e.App)
 			}

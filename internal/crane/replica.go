@@ -93,9 +93,19 @@ type Replica struct {
 	px    *proxy
 	pump  *pumpSockets
 
-	pproc *papi.ParrotProc
-	nproc *papi.NondetProc
-	inst  papi.Instance
+	// pprocA holds the live DMT process. It is a swappable pointer because
+	// a speculation rollback replaces the entire scheduler: readers go
+	// through proc() and must not cache the pointer across operations that
+	// could overlap a rollback.
+	pprocA atomic.Pointer[papi.ParrotProc]
+	nproc  *papi.NondetProc
+	// execMu guards the cold execution-state pair (fs, inst), swapped
+	// together with the scheduler by a speculation rollback.
+	execMu sync.Mutex
+	inst   papi.Instance
+	// spec executes bursts ahead of commit (nil unless Config.Speculation
+	// under full CRANE with consensus).
+	spec *speculator
 
 	fs       *cfs.FS
 	baseSnap *cfs.Snapshot
@@ -240,38 +250,44 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
 		r.nproc.SetLanes(r.prog.EffectiveLanes(r.cfg.Lanes))
 	case ModeParrotOnly:
-		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
-		r.pproc.SetLanes(r.lanes)
+		pproc := papi.NewParrotProc(r.net, r.host, r.fs)
+		pproc.SetLanes(r.lanes)
+		r.pprocA.Store(pproc)
 	case ModePaxosOnly:
 		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
 		r.nproc.SetLanes(r.prog.EffectiveLanes(r.cfg.Lanes))
 		r.pump = newPumpSockets(r)
 		r.nproc.SetSocketLayer(r.pump)
 	case ModeCrane, ModeCraneNoBubble:
-		r.pproc = papi.NewParrotProc(r.net, r.host, r.fs)
-		r.pproc.SetLanes(r.lanes)
-		r.pproc.SetSocketLayer(&dmtSockets{r: r})
-		r.pproc.Sched.SetGate(newGate(r, r.mode == ModeCrane))
+		pproc := papi.NewParrotProc(r.net, r.host, r.fs)
+		pproc.SetLanes(r.lanes)
+		pproc.SetSocketLayer(&dmtSockets{r: r})
+		g := newGate(r, r.mode == ModeCrane)
+		pproc.Sched.SetGate(g)
+		if r.cfg.Speculation && r.mode == ModeCrane && r.node != nil {
+			r.spec = newSpeculator(r, g)
+		}
+		r.pprocA.Store(pproc)
 	}
-	if r.pproc != nil {
-		r.pproc.Sched.SetObs(r.ro.reg)
+	if pproc := r.proc(); pproc != nil {
+		pproc.Sched.SetObs(r.ro.reg)
 		// Single-lane recording captures the one total order; multi-lane
 		// captures one schedule per lane (lanes have no meaningful total
 		// order across them). Both exist for divergence diagnostics.
 		if os.Getenv("CRANE_SCHED_REC") != "" {
 			if r.lanes == 1 {
-				r.schedRec = r.pproc.Sched.StartRecording()
+				r.schedRec = pproc.Sched.StartRecording()
 			} else {
-				r.laneRecs = r.pproc.Sched.StartLaneRecordings()
-				r.pproc.Sched.StartCrossDebug()
+				r.laneRecs = pproc.Sched.StartLaneRecordings()
+				pproc.Sched.StartCrossDebug()
 			}
 		}
 	}
 	// REPFRAME-style analysis (§6.2): attach the lock-order checker to
 	// the designated backup's scheduler.
-	if r.cfg.AnalyzeBackup && r.pproc != nil && r.id == r.cfg.Replicas-1 && r.cfg.Replicas > 1 {
+	if r.cfg.AnalyzeBackup && r.proc() != nil && r.id == r.cfg.Replicas-1 && r.cfg.Replicas > 1 {
 		r.checker = analysis.NewLockOrderChecker()
-		r.pproc.Sched.SetObserver(r.checker.Observer())
+		r.proc().Sched.SetObserver(r.checker.Observer())
 	}
 
 	if r.node != nil {
@@ -281,8 +297,8 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 			return err
 		}
 	}
-	if r.pproc != nil {
-		r.pproc.Start(r.inst)
+	if pproc := r.proc(); pproc != nil {
+		pproc.Start(r.inst)
 	} else {
 		r.nproc.Start(r.inst)
 	}
@@ -298,11 +314,16 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	return nil
 }
 
+// proc returns the live DMT process (nil in non-DMT modes). Speculation
+// rollback swaps the pointer wholesale; load it fresh rather than caching
+// across operations that could overlap a rollback.
+func (r *Replica) proc() *papi.ParrotProc { return r.pprocA.Load() }
+
 // logicalClock reads the DMT scheduler's logical clock (0 in non-DMT
 // modes). Lock-free, so it is safe from callbacks holding other locks.
 func (r *Replica) logicalClock() uint64 {
-	if r.pproc != nil {
-		return r.pproc.Sched.ClockFast()
+	if pproc := r.proc(); pproc != nil {
+		return pproc.Sched.ClockFast()
 	}
 	return 0
 }
@@ -350,6 +371,15 @@ func (r *Replica) onDeliver(e paxos.LogEntry) {
 	}
 	ent.Index = e.Index
 	r.ro.recordCommitted(ent)
+	if r.spec != nil && r.spec.onCommitted(ent) {
+		// The commit confirmed a speculative clone already in a lane queue
+		// (or was swallowed for rollback replay); it must not be enqueued a
+		// second time.
+		if ent.Kind == seq.KindBubble {
+			r.bubblePending.Store(false)
+		}
+		return
+	}
 	if ent.Kind == seq.KindBubble && r.lanes > 1 {
 		// A bubble paces every lane's logical clock: clone it into each
 		// lane's sequence (TickBubble mutates NClock in place, so the
@@ -431,9 +461,14 @@ func (r *Replica) maybeRequestBubble() {
 }
 
 // emitOutput logs an outgoing socket call and, on the primary, forwards it
-// to the client; backups log and drop (§2.1).
+// to the client; backups log and drop (§2.1). With speculation enabled the
+// speculator sees every output first: it buffers those produced inside an
+// open window and suppresses replayed ones after a rollback.
 func (r *Replica) emitOutput(conn uint64, data []byte) {
-	r.out.Record(conn, data)
+	if r.spec != nil && r.spec.emit(conn, data) {
+		return
+	}
+	r.out.Record(conn, data) //crane:specleak-ok the speculator declined the output above: no window is open, the effect is committed
 	r.ro.recordOutput(conn, r.logicalClock(), r.laneForConn(conn))
 	if r.px != nil && r.node.IsPrimary() {
 		r.px.forward(conn, data)
@@ -441,6 +476,9 @@ func (r *Replica) emitOutput(conn uint64, data []byte) {
 }
 
 func (r *Replica) proxyCloseConn(conn uint64) {
+	if r.spec != nil && r.spec.closeConn(conn) {
+		return
+	}
 	if r.px != nil {
 		r.px.closeConn(conn)
 	}
@@ -469,8 +507,17 @@ func (r *Replica) stop() {
 	if r.pump != nil {
 		r.pump.wake()
 	}
-	if r.pproc != nil {
-		r.pproc.Kill()
+	if r.spec != nil {
+		// Wait out any in-flight rollback's state swap. After the barrier,
+		// whichever scheduler is installed stays installed: the rollback
+		// re-checks the killed flag (set above) under its lock before
+		// swapping in a replacement, so the single load below catches the
+		// process that actually needs killing.
+		r.spec.barrier()
+	}
+	pproc := r.proc()
+	if pproc != nil {
+		pproc.Kill()
 	}
 	if r.nproc != nil {
 		r.nproc.Kill()
@@ -481,8 +528,8 @@ func (r *Replica) stop() {
 	if r.node != nil {
 		r.node.Stop()
 	}
-	if r.pproc != nil {
-		r.pproc.Wait()
+	if pproc != nil {
+		pproc.Wait()
 	}
 	if r.nproc != nil {
 		r.nproc.Wait()
@@ -507,15 +554,30 @@ func (r *Replica) Quiescent() bool {
 			return false
 		}
 	}
+	if r.spec != nil && r.spec.active() {
+		// An open speculation window or a running repair means execution
+		// state is provisional — never a checkpointable moment.
+		return false
+	}
 	return true
 }
 
 // Snapshot serializes the program's in-memory state (CRIU substitution).
-func (r *Replica) Snapshot() ([]byte, error) { return r.inst.Snapshot() }
+func (r *Replica) Snapshot() ([]byte, error) {
+	r.execMu.Lock()
+	inst := r.inst
+	r.execMu.Unlock()
+	return inst.Snapshot()
+}
 
 // Restore reinstates a program snapshot (used on a freshly built replica
 // before its main thread runs).
-func (r *Replica) Restore(b []byte) error { return r.inst.Restore(b) }
+func (r *Replica) Restore(b []byte) error {
+	r.execMu.Lock()
+	inst := r.inst
+	r.execMu.Unlock()
+	return inst.Restore(b)
+}
 
 // Checkpoint captures a consistent (state, index) image using the
 // quiescence-gated checkpointer, re-validating that no input raced the
@@ -523,7 +585,10 @@ func (r *Replica) Restore(b []byte) error { return r.inst.Restore(b) }
 func (r *Replica) Checkpoint(cp *checkpoint.Checkpointer) (*checkpoint.Checkpoint, *checkpoint.Timings, error) {
 	for attempt := 0; attempt < 10; attempt++ {
 		idxBefore := r.node.CommitIndex()
-		ck, tm, err := cp.Capture(r, r.fs, r.baseSnap, func() uint64 { return idxBefore })
+		r.execMu.Lock()
+		fs := r.fs
+		r.execMu.Unlock()
+		ck, tm, err := cp.Capture(r, fs, r.baseSnap, func() uint64 { return idxBefore })
 		if err != nil {
 			return nil, tm, err
 		}
@@ -571,8 +636,22 @@ func (r *Replica) SeqStats() seq.Stats {
 // Node exposes the consensus node (nil in un-replicated modes).
 func (r *Replica) Node() *paxos.Node { return r.node }
 
-// FS returns the replica's container filesystem.
-func (r *Replica) FS() *cfs.FS { return r.fs }
+// FS returns the replica's container filesystem (the live one: a
+// speculation rollback swaps in a rebuilt filesystem).
+func (r *Replica) FS() *cfs.FS {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	return r.fs
+}
+
+// SpecStats returns the speculation counters (all zero when speculation
+// is disabled).
+func (r *Replica) SpecStats() SpecStats {
+	if r.spec == nil {
+		return SpecStats{}
+	}
+	return r.spec.stats()
+}
 
 // BaseSnapshot returns the pristine container image.
 func (r *Replica) BaseSnapshot() *cfs.Snapshot { return r.baseSnap }

@@ -79,6 +79,14 @@ type Stats struct {
 	Signals     uint64 // signal/broadcast wake-ups delivered
 	Spawned     uint64 // threads created (excluding the idle thread)
 	ScheduleSum uint64 // FNV-1a hash of the (thread, op) schedule so far
+	// Epoch counts speculation rollbacks that restored from a checkpoint
+	// boundary instead of replaying from genesis. A genesis replay
+	// reproduces the boot schedule bit for bit, so epoch 0 keeps
+	// cross-replica ScheduleSum comparisons exact; a boundary restore
+	// skips the pre-checkpoint schedule, so the epoch is folded into
+	// ScheduleSum — fingerprints then compare post-repair state instead of
+	// accidentally (never) matching a replica that executed from boot.
+	Epoch uint64
 }
 
 // Scheduler is a Parrot-style round-robin DMT scheduler.
@@ -163,6 +171,10 @@ type Scheduler struct {
 	replayPos int
 	replayErr error
 
+	// epochA is the speculation epoch (see Stats.Epoch); set once before
+	// Start on a scheduler rebuilt from a checkpoint boundary.
+	epochA atomic.Uint64
+
 	nextID  int
 	killedA atomic.Bool
 	killCh  chan struct{}
@@ -192,6 +204,10 @@ func New() *Scheduler {
 // SetGate installs the CRANE admission gate. Must be called before Start.
 func (s *Scheduler) SetGate(g Gate) { s.gate = g }
 
+// SetEpoch marks the scheduler as executing from a speculation-rollback
+// checkpoint boundary (see Stats.Epoch). Call before Start, on the root.
+func (s *Scheduler) SetEpoch(e uint64) { s.epochA.Store(e) }
+
 // SetObs registers scheduler instruments into reg: the turn-wait histogram
 // and gauges over the running counters. Must be called before Start; a nil
 // reg is a no-op. The gauges read atomic mirrors, so a /metrics scrape
@@ -219,6 +235,9 @@ func (s *Scheduler) SetObs(reg *obs.Registry) {
 	})
 	reg.GaugeFunc("dmt_runq_len", "current run-queue length", func() float64 {
 		return float64(s.RunQueueLen())
+	})
+	reg.GaugeFunc("dmt_epoch", "speculation epoch (boundary-restore rebuilds)", func() float64 {
+		return float64(s.epochA.Load())
 	})
 	if len(s.lanes) > 1 {
 		// Per-lane instruments (call SetLanes before SetObs): token-handoff
@@ -362,8 +381,8 @@ func (s *Scheduler) Killed() bool { return s.killedA.Load() }
 // On a multi-lane root the counters are summed over lanes and ScheduleSum
 // is an FNV-1a fold of the per-lane schedule hashes in lane order.
 func (s *Scheduler) Stats() Stats {
+	var agg Stats
 	if len(s.lanes) > 1 {
-		var agg Stats
 		h := uint64(14695981039346656037)
 		for _, ln := range s.lanes {
 			st := ln.laneStats()
@@ -376,9 +395,17 @@ func (s *Scheduler) Stats() Stats {
 			h *= 1099511628211
 		}
 		agg.ScheduleSum = h
-		return agg
+	} else {
+		agg = s.laneStats()
 	}
-	return s.laneStats()
+	if e := s.epochA.Load(); e != 0 {
+		// A boundary-restore rebuild skipped the pre-checkpoint schedule:
+		// fold the epoch in so its hash never silently equals a boot-replay
+		// hash (Stats.Epoch doc).
+		agg.Epoch = e
+		agg.ScheduleSum = (agg.ScheduleSum ^ e) * 1099511628211
+	}
+	return agg
 }
 
 // laneStats snapshots this lane's own counters.

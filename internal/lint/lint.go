@@ -21,6 +21,9 @@
 //   - laneconsistency: lane-bound papi sync objects (NewMutexLane and
 //     friends) used from threads of a different lane — conflict-map drift
 //     caught at lint time instead of by the runtime assertion
+//   - specleak:  client-visible effects (socket writes, output-log
+//     records, WAL appends) in internal/crane that bypass the speculation
+//     gate buffer
 //
 // Suppression: a finding may be deliberately accepted with a
 // "//crane:<analyzer>-ok <reason>" comment on the flagged line, the line
@@ -183,7 +186,7 @@ func replicated(path string, files []*ast.File) bool {
 // Analyzers is the cranevet suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer,
-		ObsRegAnalyzer, LaneConsistencyAnalyzer}
+		ObsRegAnalyzer, LaneConsistencyAnalyzer, SpecLeakAnalyzer}
 }
 
 // RunAnalyzers executes the given analyzers over the loaded packages and

@@ -45,6 +45,17 @@ func TestLaneConsistency(t *testing.T) {
 	linttest.Run(t, testdata(t, "laneconsistency"), lint.LaneConsistencyAnalyzer)
 }
 
+func TestSpecLeak(t *testing.T) {
+	linttest.Run(t, testdata(t, "specleak"), lint.SpecLeakAnalyzer)
+}
+
+// TestSpecLeakSkipsUngated verifies the scoping: the same effect calls in
+// a package that is neither crane/internal/crane nor marked
+// //crane:specgated produce no findings.
+func TestSpecLeakSkipsUngated(t *testing.T) {
+	linttest.Run(t, testdata(t, "specleakout"), lint.SpecLeakAnalyzer)
+}
+
 // TestSuppressionRequiresReason checks that a reasonless
 // //crane:nondet-ok is rejected and does not silence the finding.
 func TestSuppressionRequiresReason(t *testing.T) {

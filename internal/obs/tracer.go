@@ -16,6 +16,7 @@ const (
 	StageAdmit    = "admit"     // proxy accepted the socket call (primary)
 	StageProposed = "proposed"  // burst accepted for consensus ordering
 	StageCommit   = "committed" // consensus slot assigned + WAL persisted
+	StageSpecExec = "spec_exec" // server consumed the call speculatively, pre-commit
 	StageConsumed = "consumed"  // server consumed the call at its DMT turn
 	StageOutput   = "output"    // server emitted a response on the wire
 )
@@ -176,6 +177,7 @@ func (t *Tracer) Breakdown() []StageBreakdown {
 		{StageCommit, StageConsumed},
 		{StageConsumed, StageOutput},
 		{StageAdmit, StageConsumed},
+		{StageAdmit, StageSpecExec},
 	}
 	var out []StageBreakdown
 	for _, tr := range transitions {

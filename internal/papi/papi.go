@@ -179,6 +179,17 @@ type ConflictMap struct {
 	// partitioning). Nil defaults to connID % lanes. Connection ids are
 	// replica-consistent under CRANE, so the routing is deterministic.
 	ConnLane func(connID uint64, lanes int) int
+
+	// MaxUseful is the number of genuinely independent key ranges the
+	// program partitions its state into — the lane count beyond which
+	// added lanes only add cross-lane synchronization. A deployment
+	// requesting more lanes is clamped to it (EffectiveLanes): a
+	// cross-lane mutex acquire waits for every other lane's bubble-paced
+	// merge stamp, a cost that grows with the lane count, so running
+	// eight lanes over two independent ranges is strictly worse than
+	// running two (the 8-lane MySQL regression in BENCH_lanes.json).
+	// Zero means unlimited.
+	MaxUseful int
 }
 
 // Program describes a deployable server program.
@@ -212,7 +223,8 @@ func (p *Program) ConnLaneOf(connID uint64, lanes int) int {
 }
 
 // EffectiveLanes clamps a deployment's requested lane count to what the
-// program declared: 1 when it has no ConflictMap (the safe fallback), the
+// program declared: 1 when it has no ConflictMap (the safe fallback),
+// the ConflictMap's MaxUseful when one is declared and exceeded, the
 // requested count otherwise.
 func (p *Program) EffectiveLanes(requested int) int {
 	if requested < 1 {
@@ -220,6 +232,9 @@ func (p *Program) EffectiveLanes(requested int) int {
 	}
 	if p.Conflict == nil {
 		return 1
+	}
+	if p.Conflict.MaxUseful > 0 && requested > p.Conflict.MaxUseful {
+		return p.Conflict.MaxUseful
 	}
 	return requested
 }

@@ -256,3 +256,25 @@ func TestFuncInstance(t *testing.T) {
 		t.Fatal("stateless restore broken")
 	}
 }
+
+// TestEffectiveLanesClamp pins the lane-count resolution rules: no
+// declared conflict structure forces one lane, MaxUseful clamps a larger
+// request (the 8-lane MySQL regression in BENCH_lanes.json is the
+// motivating case), and zero MaxUseful means unlimited.
+func TestEffectiveLanesClamp(t *testing.T) {
+	undeclared := &Program{Name: "plain"}
+	if got := undeclared.EffectiveLanes(8); got != 1 {
+		t.Fatalf("undeclared conflict: EffectiveLanes(8) = %d, want 1", got)
+	}
+	clamped := &Program{Name: "mysqld", Conflict: &ConflictMap{MaxUseful: 2}}
+	cases := map[int]int{8: 2, 2: 2, 1: 1, 0: 1, -3: 1}
+	for req, want := range cases {
+		if got := clamped.EffectiveLanes(req); got != want {
+			t.Errorf("MaxUseful 2: EffectiveLanes(%d) = %d, want %d", req, got, want)
+		}
+	}
+	unlimited := &Program{Name: "httpd", Conflict: &ConflictMap{}}
+	if got := unlimited.EffectiveLanes(8); got != 8 {
+		t.Fatalf("MaxUseful 0: EffectiveLanes(8) = %d, want 8", got)
+	}
+}

@@ -66,6 +66,14 @@ type Entry struct {
 	Data   []byte // payload (Send only)
 	NClock uint64 // remaining logical clocks (Bubble only)
 
+	// Spec marks an entry enqueued speculatively by the proposing replica
+	// before its consensus commit (ISSUE 7). A speculative entry is
+	// consumed by the DMT exactly like a committed one; when the commit
+	// arrives and matches, ClearSpec promotes it in place, and when the
+	// speculation aborts, TruncateSpec removes the still-queued suffix.
+	// In-memory only: the flag never crosses the wire.
+	Spec bool
+
 	// enqueuedAt is stamped by Enqueue for the queue-wait instrument;
 	// it never crosses the wire.
 	enqueuedAt time.Time
@@ -200,6 +208,13 @@ type Sequence struct {
 	bubbleClocks  uint64
 	consumedCalls uint64
 	payloadBytes  uint64
+	// specConsumed counts consumption acts against speculative entries:
+	// bubble clock ticks, CONNECT/CLOSE pops, full SEND drains, and —
+	// crucially — partial SEND byte copies, which advance no other counter.
+	// The speculation layer snapshots it when a window opens and compares
+	// after truncation: any change means speculative input reached the
+	// server and the abort must escalate to a full rollback.
+	specConsumed uint64
 	// progressA mirrors bubbleClocks + consumedCalls: the sequence's
 	// consumption position. Atomic so other lanes' merge polls read it
 	// lock-free (see Progress).
@@ -269,6 +284,96 @@ func (s *Sequence) Enqueue(e *Entry) {
 	}
 }
 
+// EnqueueSpec appends a speculative entry: the proposing replica's clone
+// of an admitted socket call whose Accept round is still in flight.
+// Speculative entries always form a contiguous queue suffix — the proxy
+// only feeds while no committed entry is outstanding behind the window,
+// ClearSpec promotes the suffix head in place, and TruncateSpec removes
+// the whole suffix — so committed and speculative prefixes never
+// interleave.
+func (s *Sequence) EnqueueSpec(e *Entry) {
+	e.Spec = true
+	s.Enqueue(e)
+}
+
+// ClearSpec promotes a speculative entry to committed in place, stamping
+// the consensus index its commit was assigned. Safe whether the entry is
+// still queued, partially consumed, or already popped; the flag flip is
+// under s.mu so the consumption hook observes a consistent value.
+func (s *Sequence) ClearSpec(e *Entry, index uint64) {
+	s.mu.Lock()
+	e.Spec = false
+	e.Index = index
+	s.mu.Unlock()
+}
+
+// TruncateSpec removes the speculative suffix of the queue (aborted
+// speculation), rolling the enqueue-side counters back so Stats reflect
+// the committed stream only. Partially consumed speculative entries have
+// already leaked input into the server; the caller detects that via
+// SpecConsumed and escalates to a rollback. Returns how many entries were
+// removed.
+func (s *Sequence) TruncateSpec() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for s.pendingLocked() > 0 {
+		e := s.entries[len(s.entries)-1]
+		if !e.Spec {
+			break
+		}
+		s.entries[len(s.entries)-1] = nil
+		s.entries = s.entries[:len(s.entries)-1]
+		s.enqueued--
+		s.payloadBytes -= uint64(len(e.Data)) + 16
+		if e.Kind == KindBubble {
+			s.bubbles--
+		} else {
+			s.clientCalls--
+		}
+		n++
+	}
+	if n > 0 && s.pendingLocked() == 0 {
+		s.entries = s.entries[:0]
+		s.head = 0
+		s.lastDrain = time.Now()
+	}
+	return n
+}
+
+// SpecConsumed returns the count of consumption acts against speculative
+// entries (see the specConsumed field).
+func (s *Sequence) SpecConsumed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.specConsumed
+}
+
+// Reset wipes the sequence back to its freshly-created state in place —
+// entries, head, every counter, and the consumption position — keeping
+// the installed instruments and hooks. The rollback path resets the lane
+// sequences rather than replacing them so every pointer into them (socket
+// layer, gate, hooks) stays valid; the fresh scheduler then replays the
+// committed stream from consumption position zero.
+func (s *Sequence) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.entries {
+		s.entries[i] = nil
+	}
+	s.entries = s.entries[:0]
+	s.head = 0
+	s.lastDrain = time.Now()
+	s.enqueued = 0
+	s.bubbles = 0
+	s.clientCalls = 0
+	s.bubbleClocks = 0
+	s.consumedCalls = 0
+	s.payloadBytes = 0
+	s.specConsumed = 0
+	s.progressA.Store(0)
+}
+
 // pendingLocked returns the number of pending entries; headLocked the
 // first pending entry. Called with s.mu held.
 func (s *Sequence) pendingLocked() int { return len(s.entries) - s.head }
@@ -321,6 +426,9 @@ func (s *Sequence) TickBubble() bool {
 		e.NClock--
 		s.bubbleClocks++
 		s.progressA.Add(1)
+		if e.Spec {
+			s.specConsumed++
+		}
 	}
 	if e.NClock == 0 {
 		s.popLocked()
@@ -340,6 +448,9 @@ func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
 	s.popLocked()
 	s.consumedCalls++
 	s.progressA.Add(1)
+	if e.Spec {
+		s.specConsumed++
+	}
 	return e.Conn, e.Port, true
 }
 
@@ -371,6 +482,11 @@ func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 		c := copy(b[n:], e.Data)
 		n += c
 		e.Data = e.Data[c:]
+		if e.Spec && c > 0 {
+			// A partial read is already contamination: the bytes reached
+			// the server even though the entry stays queued.
+			s.specConsumed++
+		}
 		if len(e.Data) != 0 {
 			break
 		}
@@ -381,6 +497,9 @@ func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 	if n == 0 && s.pendingLocked() > 0 {
 		e := s.headLocked()
 		if e.Kind == KindClose && e.Conn == conn {
+			if e.Spec {
+				s.specConsumed++
+			}
 			s.popLocked()
 			s.consumedCalls++
 			s.progressA.Add(1)
@@ -402,6 +521,9 @@ func (s *Sequence) PopIfConn(conn uint64) bool {
 	e := s.headLocked()
 	if (e.Kind != KindSend && e.Kind != KindClose) || e.Conn != conn {
 		return false
+	}
+	if e.Spec {
+		s.specConsumed++
 	}
 	s.popLocked()
 	s.consumedCalls++
