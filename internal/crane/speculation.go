@@ -106,16 +106,32 @@ type speculator struct {
 	boundaryEvery int
 	capturing     bool
 	cp            *checkpoint.Checkpointer
+	// logCap is the hard bound on the replay log. A server that never has
+	// a quiescent moment (long-lived connections) never lets a boundary
+	// capture succeed, so the log would otherwise grow for the replica's
+	// lifetime. Past the cap — with no window open, so no rollback can
+	// ever need the entries — speculation is disabled, the log is dropped,
+	// and feeding stays off until a fresh boundary capture re-establishes
+	// a restore point (disabled turns every commit into a capture
+	// opportunity, so the next quiet moment re-arms).
+	logCap   int
+	disabled bool
+	logTrips uint64
 
 	// Per-lane replay bookkeeping. recorded counts outputs this replica
 	// has ever recorded per lane (monotonic across rollbacks); replayed
-	// counts outputs emitted since the last rebuild; suppress is the
-	// recorded count at rollback time. During replay, a lane's first
-	// suppress outputs are — by schedule determinism — exactly the ones
-	// already recorded, so they are dropped instead of re-recorded.
-	recorded []uint64
-	replayed []uint64
-	suppress []uint64
+	// counts outputs emitted since the last rebuild; suppress is the count
+	// of already-recorded outputs the replay will regenerate. During
+	// replay, a lane's first suppress outputs are — by schedule
+	// determinism — exactly the ones already recorded, so they are dropped
+	// instead of re-recorded. recordedAtBoundary snapshots recorded when a
+	// boundary is installed: a boundary restore replays only the entries
+	// after the boundary, so it regenerates recorded-recordedAtBoundary
+	// outputs per lane, while a genesis replay regenerates all recorded.
+	recorded           []uint64
+	replayed           []uint64
+	suppress           []uint64
+	recordedAtBoundary []uint64
 
 	windows     uint64
 	hits        uint64
@@ -128,6 +144,8 @@ type speculator struct {
 	cAborts      *obs.Counter
 	cLightAborts *obs.Counter
 	cOutBuf      *obs.Counter
+	cLogTrips    *obs.Counter
+	gLogLen      *obs.Gauge
 	rollbackH    *obs.Histogram
 }
 
@@ -137,6 +155,9 @@ type speculator struct {
 // proposing into its local log), bounding both the runahead the rollback
 // must undo and the window bookkeeping itself.
 const maxSpecWindow = 256
+
+// defaultSpecLogCap is the default replay-log hard bound (speculator.logCap).
+const defaultSpecLogCap = 1 << 16
 
 // specRec is one fed entry awaiting its commit. A bubble fed on a
 // multi-lane replica has one clone per lane (mirroring onDeliver's
@@ -163,20 +184,25 @@ type SpecStats struct {
 	Aborts      uint64 // windows aborted (mismatch, propose failure, primary loss)
 	LightAborts uint64 // aborts that truncated cleanly without a rollback
 	Rollbacks   uint64 // full checkpoint-rollback repairs
+	LogTrips    uint64 // replay-log cap trips (speculation disabled until re-armed)
 	Pending     int    // entries currently awaiting commit
 	Buffered    int    // externally visible effects currently held back
+	LogLen      int    // committed entries currently in the replay log
+	Disabled    bool   // feeding refused until a boundary capture re-arms
 }
 
 func newSpeculator(r *Replica, g *gate) *speculator {
 	sp := &speculator{
-		r:             r,
-		curGate:       g,
-		specBase:      make([]uint64, r.lanes),
-		recorded:      make([]uint64, r.lanes),
-		replayed:      make([]uint64, r.lanes),
-		suppress:      make([]uint64, r.lanes),
-		boundaryEvery: 4096,
-		cp:            checkpoint.New(checkpoint.Options{}),
+		r:                  r,
+		curGate:            g,
+		specBase:           make([]uint64, r.lanes),
+		recorded:           make([]uint64, r.lanes),
+		replayed:           make([]uint64, r.lanes),
+		suppress:           make([]uint64, r.lanes),
+		recordedAtBoundary: make([]uint64, r.lanes),
+		boundaryEvery:      4096,
+		logCap:             defaultSpecLogCap,
+		cp:                 checkpoint.New(checkpoint.Options{}),
 		cWindows: r.ro.reg.Counter("spec_windows_total",
 			"speculation windows opened (bursts executed ahead of commit)"),
 		cHits: r.ro.reg.Counter("spec_hits_total",
@@ -187,6 +213,10 @@ func newSpeculator(r *Replica, g *gate) *speculator {
 			"aborts resolved by truncation alone (no speculative input was consumed)"),
 		cOutBuf: r.ro.reg.Counter("spec_outputs_buffered_total",
 			"server outputs held in the speculation buffer"),
+		cLogTrips: r.ro.reg.Counter("spec_log_cap_trips_total",
+			"replay-log cap trips (log dropped, speculation disabled until re-armed)"),
+		gLogLen: r.ro.reg.Gauge("spec_log_entries",
+			"committed entries held in the speculation replay log"),
 		rollbackH: r.ro.reg.Histogram("spec_rollback_seconds",
 			"checkpoint-rollback repair latency (kill, restore, replay start)"),
 	}
@@ -215,7 +245,12 @@ func (sp *speculator) feed(ents []*seq.Entry) bool {
 	}
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
-	if sp.repairing || sp.unfed > 0 || sp.pendingLen() >= maxSpecWindow {
+	// Feed is all-or-nothing per burst, so the cap is checked against the
+	// whole burst: admitting a burst that would overshoot maxSpecWindow is
+	// refused outright rather than letting the window exceed the bound the
+	// rollback bookkeeping is sized for.
+	if sp.repairing || sp.disabled || sp.unfed > 0 ||
+		sp.pendingLen()+len(ents) > maxSpecWindow {
 		return false
 	}
 	for _, e := range ents {
@@ -298,7 +333,8 @@ func (sp *speculator) onCommitted(ent *seq.Entry) bool {
 	// Every committed entry joins the replay log in commit order,
 	// regardless of what happens to it below.
 	sp.log = append(sp.log, *ent)
-	sp.maybeBoundaryLocked()
+	sp.gLogLen.Set(int64(len(sp.log)))
+	sp.boundOrCaptureLocked()
 	if sp.repairing {
 		// The rollback goroutine owns execution state; it will replay
 		// this entry from the log.
@@ -335,6 +371,11 @@ func (sp *speculator) onCommitted(ent *seq.Entry) bool {
 	sp.r.ro.recordConfirmed(ent.Req, ent.Conn, ent.Index)
 	if sp.pendingLen() == 0 {
 		sp.flushLocked()
+		// On a primary under continuous fed traffic every commit arrives
+		// with a window open, so the top-of-function check never sees
+		// pendingLen()==0 — the window drain is where the log bound and
+		// the capture opportunity must be re-checked.
+		sp.boundOrCaptureLocked()
 	}
 	sp.mu.Unlock()
 	return true
@@ -483,7 +524,12 @@ func (sp *speculator) abortLocked() (full bool) {
 // rollback rebuilds the replica's execution state at the speculation
 // boundary and replays the committed log. It runs on its own goroutine:
 // killing the old scheduler blocks until every application thread
-// unwinds, which must never stall the paxos delivery loop.
+// unwinds, which must never stall the paxos delivery loop. For the same
+// reason the expensive rebuild work (filesystem restore, instance
+// construction and restore, scheduler wiring) runs outside sp.mu —
+// onCommitted takes sp.mu on the delivery path, and repairing=true
+// already fences feeds, commits, and emits — with the lock retaken only
+// to swap the rebuilt state in.
 func (sp *speculator) rollback() {
 	t0 := time.Now()
 	r := sp.r
@@ -497,45 +543,74 @@ func (sp *speculator) rollback() {
 	// Every pre-rollback thread has exited: the execution state is
 	// exclusively ours until the new scheduler starts.
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
 	if r.killed() {
 		// The replica was stopped while we unwound; leave repairing set —
 		// nothing may execute again.
+		sp.mu.Unlock()
 		return
 	}
 	sp.buf = sp.buf[:0]
-	for i := range sp.suppress {
-		sp.suppress[i] = sp.recorded[i]
-		sp.replayed[i] = 0
-		sp.specBase[i] = 0
-	}
-	// Rebuild the filesystem and instance at the boundary.
+	// The boundary cannot change while repairing: captureBoundary refuses
+	// to install one mid-repair, and nothing else writes it.
+	boundary := sp.boundary
+	sp.mu.Unlock()
+
+	// Rebuild the filesystem and instance at the boundary, unlocked.
 	var fs = r.baseSnap.NewFS()
 	var from uint64
-	epoch := uint64(0)
-	if sp.boundary != nil {
-		restored, _, err := sp.cp.RestoreFS(sp.boundary, r.baseSnap)
+	fromBoundary := false
+	if boundary != nil {
+		restored, _, err := sp.cp.RestoreFS(boundary, r.baseSnap)
 		if err == nil {
 			fs = restored
-			from = sp.boundary.Index
-			sp.epoch++
-			epoch = sp.epoch
-		} else {
-			// A broken boundary falls back to genesis replay: slower,
-			// never wrong.
-			sp.boundary = nil
-			fs = r.baseSnap.NewFS()
+			from = boundary.Index
+			fromBoundary = true
 		}
+		// A broken boundary falls back to genesis replay: slower, never
+		// wrong.
 	}
 	inst := r.prog.New(fs)
-	if sp.boundary != nil {
-		if err := inst.Restore(sp.boundary.Process); err != nil {
-			sp.boundary = nil
-			epoch = 0
+	if fromBoundary {
+		if err := inst.Restore(boundary.Process); err != nil {
+			fromBoundary = false
 			from = 0
 			fs = r.baseSnap.NewFS()
 			inst = r.prog.New(fs)
 		}
+	}
+	// Fresh scheduler, wired exactly like start().
+	proc := papi.NewParrotProc(r.net, r.host, fs)
+	proc.SetLanes(r.lanes)
+	proc.SetSocketLayer(&dmtSockets{r: r})
+	ng := newGate(r, r.mode == ModeCrane)
+	proc.Sched.SetGate(ng)
+	proc.Sched.SetObs(r.ro.reg)
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if r.killed() {
+		// Stopped during the rebuild; the replacement never starts.
+		return
+	}
+	if !fromBoundary {
+		sp.boundary = nil
+	}
+	// Replay suppression: a boundary restore replays only the entries
+	// after the boundary, so it regenerates exactly the outputs recorded
+	// since the boundary was installed; a genesis replay regenerates every
+	// output ever recorded.
+	for i := range sp.suppress {
+		if fromBoundary {
+			sp.suppress[i] = sp.recorded[i] - sp.recordedAtBoundary[i]
+		} else {
+			sp.suppress[i] = sp.recorded[i]
+		}
+		sp.replayed[i] = 0
+		sp.specBase[i] = 0
+	}
+	if fromBoundary {
+		sp.epoch++
+		proc.Sched.SetEpoch(sp.epoch)
 	}
 	// Reset connection and sequence state in place (pointers into the
 	// lane sequences stay valid for the gate, hooks, and socket layer).
@@ -545,16 +620,6 @@ func (sp *speculator) rollback() {
 	r.closedMu.Unlock()
 	for _, lsq := range r.sqs {
 		lsq.Reset()
-	}
-	// Fresh scheduler, wired exactly like start().
-	proc := papi.NewParrotProc(r.net, r.host, fs)
-	proc.SetLanes(r.lanes)
-	proc.SetSocketLayer(&dmtSockets{r: r})
-	ng := newGate(r, r.mode == ModeCrane)
-	proc.Sched.SetGate(ng)
-	proc.Sched.SetObs(r.ro.reg)
-	if epoch > 0 {
-		proc.Sched.SetEpoch(epoch)
 	}
 	sp.curGate = ng
 	r.execMu.Lock()
@@ -587,59 +652,134 @@ func (sp *speculator) rollback() {
 	sp.rollbackH.Since(t0)
 }
 
-// maybeBoundaryLocked opportunistically advances the rollback boundary:
-// when the replay log has outgrown boundaryEvery and no window is open, a
-// goroutine attempts one quiescent TryCapture. The capture is validated
-// like Replica.Checkpoint — commit index unchanged and still quiescent
-// afterwards — and installed only if the world held still.
-func (sp *speculator) maybeBoundaryLocked() {
+// boundOrCaptureLocked bounds the replay log and opportunistically
+// advances the rollback boundary; called with sp.mu held whenever the log
+// may have grown or the window may have drained. It is a no-op while a
+// window is open or a repair is running — the log is then (or may become)
+// the replay source and must not be touched.
+//
+// Past logCap the log trips: a server that never has a quiescent moment
+// (long-lived connections) never lets a boundary capture trim the log, so
+// it would otherwise grow for the replica's lifetime. With no window open
+// no rollback can ever need the entries — the log is dropped, feeding is
+// disabled, and the boundary (restorable only together with the entries
+// being dropped) goes with it. A later successful capture re-arms.
+func (sp *speculator) boundOrCaptureLocked() {
+	if sp.repairing || sp.pendingLen() > 0 {
+		return
+	}
+	live := len(sp.log) - sp.trimmedLenLocked()
+	if live > sp.logCap {
+		sp.disabled = true
+		sp.log = nil
+		sp.boundary = nil
+		sp.logTrips++
+		sp.cLogTrips.Inc()
+		sp.gLogLen.Set(0)
+		return
+	}
+	sp.maybeBoundaryLocked(live)
+}
+
+// maybeBoundaryLocked launches one quiescent TryCapture when the replay
+// log has outgrown boundaryEvery and no window is open. The capture is
+// validated like Replica.Checkpoint — commit index unchanged and still
+// quiescent afterwards — plus a speculation-generation check, and
+// installed only if the world held still. While speculation is disabled
+// (log cap trip) every call is a capture opportunity regardless of log
+// length: a fresh boundary is what re-arms feeding.
+func (sp *speculator) maybeBoundaryLocked(live int) {
 	if sp.capturing || sp.repairing || sp.pendingLen() > 0 {
 		return
 	}
-	if len(sp.log)-sp.trimmedLenLocked() < sp.boundaryEvery {
+	if sp.disabled {
+		// Cheap pre-filter: with clients connected the TryCapture cannot
+		// be quiescent, so skip the goroutine spawn.
+		if sp.r.openConns.Load() != 0 {
+			return
+		}
+	} else if live < sp.boundaryEvery {
 		return
 	}
 	sp.capturing = true
-	go sp.captureBoundary()
+	go sp.captureBoundary(sp.windows + sp.rollbacks)
 }
 
 // trimmedLenLocked returns how much of the log precedes the current
-// boundary (already restorable without replay).
+// boundary (already restorable without replay). The log is in commit
+// order, so the restorable prefix ends at the first index above the
+// boundary — found by binary search, since this runs on the delivery
+// path for every commit.
 func (sp *speculator) trimmedLenLocked() int {
 	if sp.boundary == nil {
 		return 0
 	}
-	n := 0
-	for i := range sp.log {
-		if sp.log[i].Index <= sp.boundary.Index {
-			n++
+	lo, hi := 0, len(sp.log)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sp.log[mid].Index <= sp.boundary.Index {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return n
+	return lo
 }
 
-func (sp *speculator) captureBoundary() {
+// captureBoundary runs one TryCapture attempt off the delivery path. gen
+// is the speculation generation (windows + rollbacks) snapshotted under
+// sp.mu when the attempt was launched: a capture is only installed if the
+// generation is unchanged at install time. The commit-index/quiescence
+// re-validation alone cannot catch a window that opened mid-capture,
+// consumed speculative input (mutating instance and fs state under the
+// snapshot), and then aborted via primary loss with the rollback
+// completing before the install check — no commit index moved, yet the
+// snapshot is contaminated. Any such interleaving opens a window or runs
+// a rollback, so the generation comparison rejects it.
+func (sp *speculator) captureBoundary(gen uint64) {
 	r := sp.r
 	defer func() {
 		sp.mu.Lock()
 		sp.capturing = false
 		sp.mu.Unlock()
 	}()
-	idxBefore := r.node.CommitIndex()
-	r.execMu.Lock()
-	fs := r.fs
-	r.execMu.Unlock()
-	ck, _, err := sp.cp.TryCapture(r, fs, r.baseSnap, func() uint64 { return idxBefore })
-	if err != nil {
-		return
+	// Short polling loop rather than one shot: this goroutine launches at
+	// a commit, and at that instant the just-committed entry (or the next
+	// fed bubble's remaining clock grant) usually still sits in a lane
+	// queue, so a single TryCapture would almost never find the quiescent
+	// gap that opens between commits. A failed attempt is cheap
+	// (ErrNotQuiescent returns immediately); the loop is bounded and the
+	// next commit relaunches if it drains without success.
+	var ck *checkpoint.Checkpoint
+	for attempt := 0; attempt < 50; attempt++ {
+		if r.killed() {
+			return
+		}
+		idxBefore := r.node.CommitIndex()
+		r.execMu.Lock()
+		fs := r.fs
+		r.execMu.Unlock()
+		got, _, err := sp.cp.TryCapture(r, fs, r.baseSnap, func() uint64 { return idxBefore })
+		if err == nil && r.node.CommitIndex() == idxBefore && r.Quiescent() {
+			ck = got
+			break
+		}
+		// Input raced the capture (or the server is mid-burst); back off
+		// and poll for the next quiet moment.
+		time.Sleep(2 * time.Millisecond)
 	}
-	if r.node.CommitIndex() != idxBefore || !r.Quiescent() {
-		// Input raced the capture; a later quiet moment will retry.
+	if ck == nil {
 		return
 	}
 	sp.mu.Lock()
-	if !sp.repairing {
+	if !sp.repairing && sp.windows+sp.rollbacks == gen {
 		sp.boundary = ck
+		// The capture was validated quiescent with the commit index
+		// unchanged, so recorded[] cannot have moved since the snapshot:
+		// this is the per-lane output count the boundary state embodies.
+		copy(sp.recordedAtBoundary, sp.recorded)
+		// A fresh restore point re-arms feeding after a log cap trip.
+		sp.disabled = false
 		// Trim the now-restorable prefix from the replay log.
 		keep := sp.log[:0]
 		for i := range sp.log {
@@ -651,6 +791,7 @@ func (sp *speculator) captureBoundary() {
 			sp.log[i] = seq.Entry{}
 		}
 		sp.log = keep
+		sp.gLogLen.Set(int64(len(sp.log)))
 	}
 	sp.mu.Unlock()
 }
@@ -684,8 +825,11 @@ func (sp *speculator) stats() SpecStats {
 		Aborts:      sp.aborts,
 		LightAborts: sp.lightAborts,
 		Rollbacks:   sp.rollbacks,
+		LogTrips:    sp.logTrips,
 		Pending:     sp.pendingLen(),
 		Buffered:    len(sp.buf),
+		LogLen:      len(sp.log),
+		Disabled:    sp.disabled,
 	}
 }
 

@@ -222,7 +222,202 @@ func TestSpeculationAbortDiscardsBufferedEffects(t *testing.T) {
 	}
 }
 
+// TestSpeculationRollbackFromBoundary forces the rollback to restore from
+// an installed checkpoint boundary instead of genesis (boundaryEvery=1
+// makes every quiet moment a capture opportunity) and then asserts that
+// outputs committed AFTER the repair still reach the output log and the
+// clients. This is the regression test for boundary-relative replay
+// suppression: suppression must count only the outputs recorded since the
+// boundary, not every output ever recorded — otherwise the replica
+// silently swallows that many fresh committed responses after the replay.
+func TestSpeculationRollbackFromBoundary(t *testing.T) {
+	c, err := StartCluster(specClusterConfig(), httpd.Program(detHTTPDConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	setSpecTuning(c, 1, 0)
+	waitScheduleStable(t, c)
+	// Committed traffic first, so the boundary state embodies recorded
+	// outputs (the counts stale suppression would swallow).
+	for i := 0; i < 2; i++ {
+		if _, err := c.DialAndRequest(fmt.Sprintf("bwarm:%d", i), 8080,
+			[]byte("GET /index.html HTTP/1.0\r\n\r\n"), 1); err != nil {
+			t.Fatal(err)
+		}
+		waitScheduleStable(t, c)
+	}
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "boundary capture on the primary", func() bool {
+		return specBoundaryIndex(p) > 0
+	})
+
+	old := forceSpecAbort(t, c, "BOUNDARY-CANARY")
+	np := waitNewPrimary(t, c, old)
+	resp := rawRequest(t, c, "nb:1", np.ID(), "GET /index.html HTTP/1.0\r\n\r\n")
+	if !bytes.Contains(resp, []byte("It works!")) {
+		t.Fatalf("new primary response: %q", resp)
+	}
+	c.HealReplica(old)
+	waitFor(t, 10*time.Second, "rollback on the healed replica", func() bool {
+		st := c.Replica(old).SpecStats()
+		return st.Rollbacks >= 1 && st.Pending == 0
+	})
+	// The repair must have restored from the boundary, not genesis — that
+	// is the path under test, and the epoch fold marks it.
+	waitFor(t, 10*time.Second, "boundary-restore epoch", func() bool {
+		return c.Replica(old).proc().Sched.Stats().Epoch >= 1
+	})
+	// A fresh committed request after the repair: its output must land in
+	// every replica's output log, including the rolled-back one.
+	if _, err := c.DialAndRequest("post:1", 8080,
+		[]byte("GET /page0.php HTTP/1.0\r\n\r\n"), 1); err != nil {
+		t.Fatal(err)
+	}
+	assertOutputsConverged(t, c, allReplicaIDs(c))
+	assertNoCanary(t, c, allReplicaIDs(c), "BOUNDARY-CANARY")
+}
+
+// TestSpeculationLogCapTripAndRearm pins the replay log's hard bound: a
+// connection held open blocks every quiescent capture, so the log must
+// hit the cap, trip (drop the log, disable feeding — the pipeline keeps
+// serving, just without speculation), and then re-arm through a fresh
+// boundary capture once the connection closes.
+func TestSpeculationLogCapTripAndRearm(t *testing.T) {
+	c, err := StartCluster(specClusterConfig(), httpd.Program(detHTTPDConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	setSpecTuning(c, 4, 8)
+	waitScheduleStable(t, c)
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold a connection open: the cluster is never quiescent, no boundary
+	// capture can trim the log, and the idle bubble stream grows it past
+	// the cap.
+	holder, err := c.Net().Dial(simnet.Addr("holder:1"), c.Addr(p.ID(), 8080))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "log cap trip on the primary", func() bool {
+		return p.SpecStats().LogTrips >= 1
+	})
+	st := p.SpecStats()
+	if !st.Disabled {
+		t.Fatalf("feeding not disabled after a cap trip: %+v", st)
+	}
+	// The pipeline must keep serving while speculation is off.
+	resp, err := c.DialAndRequest("capreq:1", 8080,
+		[]byte("GET /index.html HTTP/1.0\r\n\r\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(resp, []byte("It works!")) {
+		t.Fatalf("disabled-phase response: %q", resp)
+	}
+	holder.Close()
+	// Quiescent moments now let the disabled-state capture re-arm feeding
+	// with a fresh boundary.
+	waitFor(t, 15*time.Second, "re-arm after a boundary capture", func() bool {
+		return !p.SpecStats().Disabled
+	})
+	winBefore := p.SpecStats().Windows
+	reqN := 0
+	waitFor(t, 15*time.Second, "speculation re-engaged", func() bool {
+		if p.SpecStats().Windows > winBefore {
+			return true
+		}
+		reqN++
+		c.DialAndRequest(fmt.Sprintf("rearm:%d", reqN), 8080,
+			[]byte("GET /index.html HTTP/1.0\r\n\r\n"), 1)
+		return p.SpecStats().Windows > winBefore
+	})
+	waitScheduleStable(t, c)
+	assertReplicasConverged(t, c, allReplicaIDs(c))
+}
+
 // --- helpers ---
+
+// setSpecTuning adjusts every replica's speculator knobs (zero keeps the
+// default) — tests shrink boundaryEvery to force boundary captures and
+// logCap to force replay-log cap trips.
+func setSpecTuning(c *Cluster, boundaryEvery, logCap int) {
+	for i := 0; i < c.Replicas(); i++ {
+		sp := c.Replica(i).spec
+		sp.mu.Lock()
+		if boundaryEvery > 0 {
+			sp.boundaryEvery = boundaryEvery
+		}
+		if logCap > 0 {
+			sp.logCap = logCap
+		}
+		sp.mu.Unlock()
+	}
+}
+
+// specBoundaryIndex reads the replica's installed rollback boundary index
+// (0 when none).
+func specBoundaryIndex(r *Replica) uint64 {
+	r.spec.mu.Lock()
+	defer r.spec.mu.Unlock()
+	if r.spec.boundary == nil {
+		return 0
+	}
+	return r.spec.boundary.Index
+}
+
+// assertOutputsConverged waits for the listed replicas to go quiescent
+// with stable per-replica ScheduleSums and EQUAL output fingerprints. It
+// is the convergence check for boundary-restore repairs: a replica
+// rebuilt from a checkpoint boundary replays only the post-boundary
+// schedule, so its ScheduleSum intentionally differs (epoch fold) while
+// its externally visible outputs must still match bit for bit.
+func assertOutputsConverged(t *testing.T, c *Cluster, ids []int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	last := make(map[int]uint64)
+	stable := 0
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		ok := true
+		var refFP uint64
+		for k, i := range ids {
+			r := c.Replica(i)
+			sum := r.proc().Sched.Stats().ScheduleSum
+			fp := r.Outputs().Fingerprint()
+			if r.openConns.Load() != 0 || sum != last[i] {
+				ok = false
+			}
+			last[i] = sum
+			if k == 0 {
+				refFP = fp
+			} else if fp != refFP {
+				ok = false
+			}
+		}
+		if !ok {
+			stable = 0
+			continue
+		}
+		if stable++; stable >= 25 {
+			return
+		}
+	}
+	ref := c.Replica(ids[0])
+	for _, i := range ids[1:] {
+		r := c.Replica(i)
+		if d := trace.Diff(ref.Outputs(), r.Outputs()); d != nil {
+			t.Fatalf("output divergence replica%d vs replica%d: %+v", ids[0], i, d)
+		}
+	}
+	t.Fatalf("outputs never converged (fingerprints unstable or unequal)")
+}
 
 func allReplicaIDs(c *Cluster) []int {
 	ids := make([]int, c.Replicas())
