@@ -53,7 +53,7 @@ type OverheadReport struct {
 }
 
 // ObservabilityReport is the full per-stage latency breakdown of one
-// crane cell plus the instrumentation overhead measurement; crane-bench
+// crane cell plus the instrumentation overhead measurements; crane-bench
 // serializes it to BENCH_observability.json.
 type ObservabilityReport struct {
 	App      string         `json:"app"`
@@ -62,6 +62,10 @@ type ObservabilityReport struct {
 	Stages   []StageRow     `json:"stages"`
 	Hists    []HistRow      `json:"histograms"`
 	Overhead OverheadReport `json:"overhead"`
+	// FlightOverhead compares the full replicated request path with the
+	// always-on flight recorder against the same path with the recorder
+	// disabled (Config.NoFlightRecorder).
+	FlightOverhead OverheadReport `json:"flight_overhead"`
 }
 
 // overheadThresholdPct is the acceptance ceiling for instrumentation
@@ -134,7 +138,83 @@ func Observability(s Scale, out io.Writer) (ObservabilityReport, error) {
 	}
 	fmt.Fprintf(out, "instrumentation overhead on ProposeCommit: baseline %.0f ns/op, instrumented %.0f ns/op, %+.2f%% (threshold %.0f%%): %s\n",
 		oh.BaselineNsOp, oh.InstrumentedNsOp, oh.OverheadPct, oh.ThresholdPct, verdict)
+
+	fo, err := measureFlightOverhead(s)
+	if err != nil {
+		return ObservabilityReport{}, err
+	}
+	rep.FlightOverhead = fo
+	verdict = "PASS"
+	if !fo.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "flight-recorder overhead on the request path: off %.0f ns/req, on %.0f ns/req, %+.2f%% (threshold %.0f%%): %s\n",
+		fo.BaselineNsOp, fo.InstrumentedNsOp, fo.OverheadPct, fo.ThresholdPct, verdict)
 	return rep, nil
+}
+
+// measureFlightOverhead times the full replicated request path (client ->
+// proxy -> consensus -> DMT -> server -> output) with the flight recorder
+// journaling every determinism event against the identical path with the
+// recorder compiled out of the wiring (Config.NoFlightRecorder). Same
+// pairing discipline as measureOverhead: each trial runs both arms back to
+// back in alternating order and contributes one on/off ratio; the median
+// ratio discards outlier pairs.
+func measureFlightOverhead(s Scale) (OverheadReport, error) {
+	const trials = 5
+	// Warm both arms (listener paths, page cache) before timing.
+	if _, err := flightTrial(s, true); err != nil {
+		return OverheadReport{}, err
+	}
+	ratios := make([]float64, 0, trials)
+	onRuns := make([]float64, 0, trials)
+	offRuns := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		first := t%2 == 0 // recorder-on first on even trials
+		a, err := flightTrial(s, first)
+		if err != nil {
+			return OverheadReport{}, err
+		}
+		b, err := flightTrial(s, !first)
+		if err != nil {
+			return OverheadReport{}, err
+		}
+		on, off := a, b
+		if !first {
+			on, off = b, a
+		}
+		ratios = append(ratios, on/off)
+		onRuns = append(onRuns, on)
+		offRuns = append(offRuns, off)
+	}
+	pct := (median(ratios) - 1) * 100
+	return OverheadReport{
+		BaselineNsOp:     median(offRuns),
+		InstrumentedNsOp: median(onRuns),
+		OverheadPct:      pct,
+		ThresholdPct:     overheadThresholdPct,
+		Trials:           trials,
+		OpsPerTrial:      s.Requests,
+		Pass:             pct <= overheadThresholdPct,
+	}, nil
+}
+
+// flightTrial runs one workload pass over a fresh CRANE cluster and
+// returns mean wall nanoseconds per completed request.
+func flightTrial(s Scale, recorder bool) (float64, error) {
+	spec := Specs()[0]
+	cfg := ClusterConfig(crane.ModeCrane)
+	cfg.NoFlightRecorder = !recorder
+	cluster, err := crane.StartCluster(cfg, spec.Program(false))
+	if err != nil {
+		return 0, fmt.Errorf("bench: flight overhead: %w", err)
+	}
+	defer cluster.Stop()
+	sum := spec.Workload(cluster.Dial, s)
+	if sum.Requests == 0 || sum.Requests == sum.Errors {
+		return 0, fmt.Errorf("bench: flight overhead: no completed requests")
+	}
+	return float64(sum.Total) / float64(sum.Requests-sum.Errors), nil
 }
 
 // measureOverhead times the paxos propose-commit loop twice — once with a

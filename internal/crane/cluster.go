@@ -86,6 +86,20 @@ type Config struct {
 	// speed, and the fsync instruments only move when this is on.
 	WALSync bool
 
+	// NoFlightRecorder disables the always-on divergence flight recorder
+	// (per-lane journals of scheduling decisions, consumption acts, and
+	// merge stamps, chained by rolling hashes). On by default in DMT modes
+	// because its hot path is a handful of arithmetic ops per already-
+	// journaled event; the off switch exists for paired overhead
+	// measurement (crane-bench) and last-resort triage.
+	NoFlightRecorder bool
+	// FlightCapacity bounds each lane journal's entry ring (default 4096).
+	FlightCapacity int
+	// AuditEvery sets how many consumed sequence positions elapse between
+	// live-audit marks — the rolling journal hashes backups piggyback on
+	// AcceptOK replies for the leader to cross-check (default 64).
+	AuditEvery uint64
+
 	// Speculation lets the primary execute admitted socket calls while
 	// their Accept round is still in flight, holding every externally
 	// visible effect until the commit confirms the speculated order —

@@ -260,6 +260,7 @@ func TestPlanIConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
+	dumpJournalsForCI(t, c, "plan-i-consistency")
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -284,6 +285,7 @@ func TestPlanIConsistency(t *testing.T) {
 	if divs := trace.DiffAll(logs); len(divs) != 0 {
 		t.Fatalf("plan I divergence: %v", divs)
 	}
+	assertNoDivergenceAlarms(t, c)
 }
 
 func TestBubblesInserted(t *testing.T) {

@@ -19,6 +19,7 @@ func TestFiveReplicaCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
+	dumpJournalsForCI(t, c, "five-replica")
 	for i := 0; i < 5; i++ {
 		if got := kvRequest(t, c, fmt.Sprintf("f5:%d", i), fmt.Sprintf("SET k%d v%d", i, i)); got != "OK" {
 			t.Fatalf("SET = %q", got)
@@ -30,6 +31,7 @@ func TestFiveReplicaCluster(t *testing.T) {
 	if divs := trace.DiffAll(c.OutputLogs()); len(divs) != 0 {
 		t.Fatalf("5-replica divergence: %v", divs)
 	}
+	assertNoDivergenceAlarms(t, c)
 	// Fail two backups; the remaining three still serve.
 	p, _ := c.Primary()
 	killed := 0
@@ -66,4 +68,5 @@ func TestTCPConsensusCluster(t *testing.T) {
 	if divs := trace.DiffAll(c.OutputLogs()); len(divs) != 0 {
 		t.Fatalf("tcp-consensus divergence: %v", divs)
 	}
+	assertNoDivergenceAlarms(t, c)
 }

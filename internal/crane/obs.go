@@ -2,6 +2,7 @@ package crane
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 	"crane/internal/paxos"
 	"crane/internal/seq"
 )
@@ -60,6 +62,9 @@ func newReplicaObs(r *Replica) *replicaObs {
 	}
 	reg.GaugeFunc("crane_open_conns", "alive server-side connections", func() float64 {
 		return float64(r.openConns.Load())
+	})
+	reg.GaugeFunc("trace_dropped_total", "lifecycle-trace events overwritten after the ring filled", func() float64 {
+		return float64(ro.tracer.Dropped())
 	})
 	return ro
 }
@@ -245,11 +250,16 @@ func registerTransportStats(reg *obs.Registry, stats func() paxos.TransportStats
 }
 
 // serve starts the replica's scrape endpoint when addr is non-empty.
-func (ro *replicaObs) serve(addr string, health func() obs.Health) error {
+// journal is nil-safe: a recorder-less replica serves 404 at /journal.
+func (ro *replicaObs) serve(addr string, health func() obs.Health, rec *flight.Recorder) error {
 	if addr == "" {
 		return nil
 	}
-	srv, err := obs.StartServer(addr, ro.reg, health, ro.tracer)
+	var journal func(io.Writer) error
+	if rec != nil {
+		journal = rec.WriteJSONL
+	}
+	srv, err := obs.StartServer(addr, ro.reg, health, ro.tracer, journal)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"crane/internal/checkpoint"
 	"crane/internal/dmt"
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 	"crane/internal/papi"
 	"crane/internal/paxos"
 	"crane/internal/seq"
@@ -131,6 +132,20 @@ type Replica struct {
 	// ro is the replica's observability state: instrument registry,
 	// lifecycle tracer, and (opt-in) HTTP scrape endpoint.
 	ro *replicaObs
+	// flt is the always-on flight recorder journaling the replica's
+	// determinism-relevant event stream (nil in non-DMT modes or when
+	// Config.NoFlightRecorder opts out; every call site is nil-safe).
+	flt *flight.Recorder
+	// aud cross-checks backups' piggybacked journal marks (leader side of
+	// the live audit; nil without a recorder or consensus).
+	aud *auditor
+	// auditCur tracks which marks this replica already piggybacked.
+	auditCur flight.AuditCursor
+	// mangleDeliverA is a test-only hook that intercepts committed entries
+	// before lane enqueue, used to seed a deliberate divergence on one
+	// replica. Atomic because tests install it while the delivery loop may
+	// be running.
+	mangleDeliverA atomic.Pointer[func(*seq.Entry) []*seq.Entry]
 }
 
 // newReplica wires a replica; start() launches it.
@@ -156,6 +171,15 @@ func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Re
 		r.sqs[i] = seq.New()
 	}
 	r.ro = newReplicaObs(r)
+	if cfg.Mode.deterministic() && !cfg.NoFlightRecorder {
+		r.flt = flight.New(r.host, r.lanes, flight.Options{
+			Capacity:   cfg.FlightCapacity,
+			AuditEvery: cfg.AuditEvery,
+		})
+		if cfg.Mode.replicated() {
+			r.aud = newAuditor(r)
+		}
+	}
 	return r
 }
 
@@ -227,7 +251,7 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		if ts, ok := transport.(interface{ Stats() paxos.TransportStats }); ok {
 			registerTransportStats(r.ro.reg, ts.Stats)
 		}
-		node, err := paxos.NewNode(paxos.Config{
+		pcfg := paxos.Config{
 			ID:                r.id,
 			Peers:             peers,
 			Transport:         transport,
@@ -238,7 +262,20 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 			OnDeliver:         r.onDeliver,
 			InitialPrimary:    initialPrimary,
 			Obs:               r.ro.reg,
-		})
+		}
+		if r.flt != nil {
+			pcfg.AuditSource = func() []flight.AuditSample {
+				return r.flt.CollectAudit(&r.auditCur)
+			}
+			pcfg.OnViewChange = func(view uint64, primary int) {
+				r.flt.Control().Note(flight.EvViewChange, r.logicalClock(),
+					view, uint64(primary), "")
+			}
+			if r.aud != nil {
+				pcfg.OnAudit = r.aud.onAudit
+			}
+		}
+		node, err := paxos.NewNode(pcfg)
 		if err != nil {
 			return err
 		}
@@ -252,6 +289,7 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	case ModeParrotOnly:
 		pproc := papi.NewParrotProc(r.net, r.host, r.fs)
 		pproc.SetLanes(r.lanes)
+		r.wireFlight(pproc)
 		r.pprocA.Store(pproc)
 	case ModePaxosOnly:
 		r.nproc = papi.NewNondetProc(r.net, r.host, r.fs)
@@ -261,6 +299,7 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	case ModeCrane, ModeCraneNoBubble:
 		pproc := papi.NewParrotProc(r.net, r.host, r.fs)
 		pproc.SetLanes(r.lanes)
+		r.wireFlight(pproc)
 		pproc.SetSocketLayer(&dmtSockets{r: r})
 		g := newGate(r, r.mode == ModeCrane)
 		pproc.Sched.SetGate(g)
@@ -307,11 +346,27 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 		if err != nil {
 			return err
 		}
-		if err := r.ro.serve(addr, r.health); err != nil {
+		if err := r.ro.serve(addr, r.health, r.flt); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// wireFlight attaches the flight recorder's lane journals to the DMT
+// scheduler and Paxos sequences. Called before the scheduler starts (and
+// again by the rollback path on the rebuilt process, after AdvanceEpoch
+// re-based the journals): each lane's scheduler and sequence share that
+// lane's journal, whose single-writer discipline the lane token provides.
+func (r *Replica) wireFlight(pproc *papi.ParrotProc) {
+	if r.flt == nil {
+		return
+	}
+	for i := 0; i < r.lanes; i++ {
+		ls := pproc.Sched.LaneSched(i)
+		ls.SetFlight(r.flt.Lane(i))
+		r.laneSeq(i).SetFlight(r.flt.Lane(i), ls.ClockFast)
+	}
 }
 
 // proc returns the live DMT process (nil in non-DMT modes). Speculation
@@ -380,6 +435,22 @@ func (r *Replica) onDeliver(e paxos.LogEntry) {
 		}
 		return
 	}
+	if h := r.mangleDeliverA.Load(); h != nil {
+		// Test-only divergence seeding: the hook decides which entries to
+		// enqueue now (possibly reordered, possibly none while it holds one
+		// back).
+		for _, m := range (*h)(ent) {
+			r.enqueueDelivered(m)
+		}
+		return
+	}
+	r.enqueueDelivered(ent)
+}
+
+// enqueueDelivered routes one committed entry into the lane sequences —
+// the tail of onDeliver, split out so the divergence-seeding hook can
+// reorder entries while reusing the exact production routing.
+func (r *Replica) enqueueDelivered(ent *seq.Entry) {
 	if ent.Kind == seq.KindBubble && r.lanes > 1 {
 		// A bubble paces every lane's logical clock: clone it into each
 		// lane's sequence (TickBubble mutates NClock in place, so the
@@ -468,7 +539,8 @@ func (r *Replica) emitOutput(conn uint64, data []byte) {
 	if r.spec != nil && r.spec.emit(conn, data) {
 		return
 	}
-	r.out.Record(conn, data) //crane:specleak-ok the speculator declined the output above: no window is open, the effect is committed
+	n, fp := r.out.Record(conn, data) //crane:specleak-ok the speculator declined the output above: no window is open, the effect is committed
+	r.flt.NoteOutput(uint64(n), fp)
 	r.ro.recordOutput(conn, r.logicalClock(), r.laneForConn(conn))
 	if r.px != nil && r.node.IsPrimary() {
 		r.px.forward(conn, data)
@@ -665,6 +737,30 @@ func (r *Replica) Obs() *obs.Registry { return r.ro.reg }
 // Tracer returns the replica's lifecycle tracer (nil unless
 // Config.TraceCapacity > 0).
 func (r *Replica) Tracer() *obs.Tracer { return r.ro.tracer }
+
+// FlightRecorder returns the replica's divergence flight recorder (nil in
+// non-DMT modes or when Config.NoFlightRecorder opted out).
+func (r *Replica) FlightRecorder() *flight.Recorder { return r.flt }
+
+// DivergenceAlarms returns the live audit's detected divergences (nil when
+// none — the expected steady state — or when the replica runs no auditor).
+func (r *Replica) DivergenceAlarms() []DivergenceAlarm { return r.aud.Alarms() }
+
+// AuditChecked returns how many cross-replica audit samples this replica
+// has verified as the consensus leader.
+func (r *Replica) AuditChecked() uint64 { return r.aud.checkedCount() }
+
+// SetMangleDeliver installs a test-only hook that intercepts committed
+// entries before lane enqueue: the hook returns the entries to enqueue now
+// (possibly reordered, possibly none while it holds one back). Tests use
+// it to seed a deliberate divergence on one replica; nil uninstalls.
+func (r *Replica) SetMangleDeliver(h func(*seq.Entry) []*seq.Entry) {
+	if h == nil {
+		r.mangleDeliverA.Store(nil)
+		return
+	}
+	r.mangleDeliverA.Store(&h)
+}
 
 // ObsAddr returns the bound scrape-endpoint address ("" when
 // Config.MetricsAddr was empty).

@@ -24,6 +24,7 @@ func TestSoakMixedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
+	dumpJournalsForCI(t, c, "soak-mixed-workload")
 
 	const (
 		clients  = 4
@@ -71,6 +72,7 @@ func TestSoakMixedWorkload(t *testing.T) {
 	if divs := trace.DiffAll(c.OutputLogs()); len(divs) != 0 {
 		t.Fatalf("soak divergence: %v", divs)
 	}
+	assertNoDivergenceAlarms(t, c)
 	// Final app state identical across replicas.
 	ref := c.Replica(0).inst.(*testKV)
 	ref.mu.Lock()

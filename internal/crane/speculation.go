@@ -7,6 +7,7 @@ import (
 
 	"crane/internal/checkpoint"
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 	"crane/internal/papi"
 	"crane/internal/seq"
 )
@@ -262,6 +263,8 @@ func (sp *speculator) feed(ents []*seq.Entry) bool {
 			}
 			sp.windows++
 			sp.cWindows.Inc()
+			sp.r.flt.Control().Note(flight.EvSpecOpen, sp.r.logicalClock(),
+				uint64(len(ents)), 0, "")
 		}
 		rec := specRec{orig: *e}
 		if e.Kind == seq.KindBubble && sp.r.lanes > 1 {
@@ -370,6 +373,8 @@ func (sp *speculator) onCommitted(ent *seq.Entry) bool {
 	sp.cHits.Inc()
 	sp.r.ro.recordConfirmed(ent.Req, ent.Conn, ent.Index)
 	if sp.pendingLen() == 0 {
+		sp.r.flt.Control().Note(flight.EvSpecConfirm, sp.r.logicalClock(),
+			sp.hits, 0, "")
 		sp.flushLocked()
 		// On a primary under continuous fed traffic every commit arrives
 		// with a window open, so the top-of-function check never sees
@@ -459,7 +464,8 @@ func (sp *speculator) flushLocked() {
 			sp.r.px.closeConn(o.conn)
 			continue
 		}
-		sp.r.out.Record(o.conn, o.data) //crane:specleak-ok flush path: the window's commits all confirmed, these effects are committed
+		n, fp := sp.r.out.Record(o.conn, o.data) //crane:specleak-ok flush path: the window's commits all confirmed, these effects are committed
+		sp.r.flt.NoteOutput(uint64(n), fp)
 		sp.r.ro.recordOutput(o.conn, sp.r.logicalClock(), o.lane)
 		sp.recorded[o.lane]++
 		sp.replayed[o.lane]++
@@ -484,6 +490,7 @@ func (sp *speculator) flushLocked() {
 func (sp *speculator) abortLocked() (full bool) {
 	sp.aborts++
 	sp.cAborts.Inc()
+	aborted := uint64(sp.pendingLen())
 	sp.unfed = 0
 	for i := sp.phead; i < len(sp.pending); i++ {
 		sp.r.ro.dropSpec(sp.pending[i].orig.Req)
@@ -508,6 +515,7 @@ func (sp *speculator) abortLocked() (full bool) {
 		// There is no replay to regenerate them — flush, don't discard.
 		sp.lightAborts++
 		sp.cLightAborts.Inc()
+		sp.r.flt.Control().Note(flight.EvSpecAbort, sp.r.logicalClock(), aborted, 0, "")
 		sp.flushLocked()
 		return false
 	}
@@ -517,6 +525,7 @@ func (sp *speculator) abortLocked() (full bool) {
 	sp.buf = sp.buf[:0]
 	sp.repairing = true
 	sp.rollbacks++
+	sp.r.flt.Control().Note(flight.EvSpecAbort, sp.r.logicalClock(), aborted, 1, "")
 	go sp.rollback()
 	return true
 }
@@ -626,6 +635,14 @@ func (sp *speculator) rollback() {
 	r.fs = fs
 	r.inst = inst
 	r.execMu.Unlock()
+	// Re-base the flight journals under a new epoch and wire them to the
+	// rebuilt scheduler: the replayed re-recording starts from a fresh
+	// chain basis, and live-audit samples stamped with the old epoch stop
+	// being comparable (the output-fingerprint audit, which covers only
+	// committed effects, keeps watching the run).
+	newEpoch := r.flt.AdvanceEpoch()
+	r.wireFlight(proc)
+	r.flt.Control().Note(flight.EvSpecRollback, 0, uint64(newEpoch), from, "")
 	r.pprocA.Store(proc)
 	// Re-enqueue the committed tail in commit order, exactly as onDeliver
 	// would have: bubbles cloned per lane, client calls routed by
@@ -774,6 +791,7 @@ func (sp *speculator) captureBoundary(gen uint64) {
 	sp.mu.Lock()
 	if !sp.repairing && sp.windows+sp.rollbacks == gen {
 		sp.boundary = ck
+		r.flt.Control().Note(flight.EvCheckpoint, r.logicalClock(), ck.Index, 0, "")
 		// The capture was validated quiescent with the commit index
 		// unchanged, so recorded[] cannot have moved since the snapshot:
 		// this is the per-lane output count the boundary state embodies.

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 )
 
 // Gate is CRANE's hook into the scheduler (the check_add_timebubble
@@ -163,6 +164,13 @@ type Scheduler struct {
 	// application thread runs), and so is time spent in the pre-park spin.
 	turnWait *obs.Histogram
 
+	// flight is this lane's divergence-forensics journal. Written only by
+	// the token holder under mu (same single-writer discipline as the
+	// counters), through the preallocated Emit path; nil when recording is
+	// off. Idle-thread ticks are excluded exactly as they are from
+	// schedHash, so the journaled stream is replica-deterministic.
+	flight *flight.Journal
+
 	gate      Gate
 	observer  Observer
 	barriers  []*SoftBarrier
@@ -207,6 +215,11 @@ func (s *Scheduler) SetGate(g Gate) { s.gate = g }
 // SetEpoch marks the scheduler as executing from a speculation-rollback
 // checkpoint boundary (see Stats.Epoch). Call before Start, on the root.
 func (s *Scheduler) SetEpoch(e uint64) { s.epochA.Store(e) }
+
+// SetFlight installs this lane's flight-recorder journal. Must be called
+// before Start (on each lane scheduler when lanes are configured); nil
+// disables journaling.
+func (s *Scheduler) SetFlight(j *flight.Journal) { s.flight = j }
 
 // SetObs registers scheduler instruments into reg: the turn-wait histogram
 // and gauges over the running counters. Must be called before Start; a nil
@@ -812,6 +825,9 @@ func (s *Scheduler) tickLocked(t *Thread, op byte) {
 	h ^= uint64(op)
 	h *= 1099511628211
 	s.schedHash = h
+	if s.flight != nil {
+		s.flight.Emit(flight.EvTick, s.clock, flight.PosUnchanged, uint64(t.id), uint64(op))
+	}
 	if s.clock&31 == 0 {
 		s.pubLocked()
 	}
@@ -848,7 +864,12 @@ func (t *Thread) WaitOn(key any) {
 	}
 	s.waits++
 	s.tickLocked(t, 'W')
-	s.waitPushLocked(s.keyOfLocked(key), t)
+	wk := s.keyOfLocked(key)
+	if s.flight != nil {
+		s.flight.Emit(flight.EvWait, s.clock, flight.PosUnchanged,
+			uint64(t.id)<<8|uint64(wk.tag), wk.v)
+	}
+	s.waitPushLocked(wk, t)
 	s.drainReentryLocked()
 	// A barrier expiring on this very tick may pop t right back out of the
 	// wait queue and re-insert it after the head — the head being t itself,
@@ -883,12 +904,17 @@ func (t *Thread) SignalKey(key any) bool {
 }
 
 func (s *Scheduler) signalOneLocked(key any) bool {
-	w := s.waitPopLocked(s.keyOfLocked(key))
+	wk := s.keyOfLocked(key)
+	w := s.waitPopLocked(wk)
 	if w == nil {
 		return false
 	}
 	s.runqInsertLocked(w, 1)
 	s.signals++
+	if s.flight != nil {
+		s.flight.Emit(flight.EvSignal, s.clock, flight.PosUnchanged,
+			uint64(w.id)<<8|uint64(wk.tag), wk.v)
+	}
 	return true
 }
 
@@ -899,10 +925,15 @@ func (t *Thread) BroadcastKey(key any) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for w := s.waitTakeLocked(s.keyOfLocked(key)); w != nil; {
+	wk := s.keyOfLocked(key)
+	for w := s.waitTakeLocked(wk); w != nil; {
 		next := w.wnext
 		w.wnext = nil
 		s.runqInsertLocked(w, 1+n)
+		if s.flight != nil {
+			s.flight.Emit(flight.EvSignal, s.clock, flight.PosUnchanged,
+				uint64(w.id)<<8|uint64(wk.tag), wk.v)
+		}
 		n++
 		w = next
 	}

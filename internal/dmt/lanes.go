@@ -55,6 +55,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"crane/internal/obs/flight"
 )
 
 // crossDomain is the shared merge point for operations that span lanes.
@@ -317,6 +319,13 @@ func (s *Scheduler) crossDo(t *Thread, f func()) {
 			time.Sleep(2 * time.Microsecond)
 		}
 		x.mu.Lock()
+	}
+	if s.flight != nil {
+		// The merge position is linearized here: (stamp, lane) lowest-wins
+		// has granted this op its turn, so journal the stamp into the
+		// caller's lane ring. The caller still holds its lane token, so the
+		// single-writer discipline holds.
+		s.flight.Emit(flight.EvMerge, s.clockA.Load(), flight.PosUnchanged, uint64(t.id), c)
 	}
 	f()
 	if x.debug != nil {

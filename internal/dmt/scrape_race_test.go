@@ -21,7 +21,7 @@ func TestMetricsScrapeDuringHotLoop(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New()
 	s.SetObs(reg)
-	srv, err := obs.StartServer("127.0.0.1:0", reg, nil, nil)
+	srv, err := obs.StartServer("127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ObsRegAnalyzer enforces the nil-registry-safe instrumentation pattern of
@@ -16,8 +17,54 @@ import (
 var ObsRegAnalyzer = &Analyzer{
 	Name: "obsreg",
 	Doc: "flag instrument registration on observation hot paths (chained " +
-		"create-and-observe, creation inside loops)",
+		"create-and-observe, creation inside loops) and allocating flight-" +
+		"journal annotations in determinism hot loops",
 	Run: runObsReg,
+}
+
+// flightHot reports whether the package is held to the flight recorder's
+// zero-alloc journaling discipline: the DMT scheduler and the sequence
+// layer emit an event per scheduler turn / consumed call, so the
+// allocating Journal.Note path (detail string, annotation entry) is
+// banned inside their loops — Journal.Emit is the fixed-arity fast path.
+// Other packages opt in with a `crane:flight-hot` marker comment.
+func flightHot(pass *Pass) bool {
+	switch pass.Pkg.Path() {
+	case "crane/internal/dmt", "crane/internal/seq":
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "crane:flight-hot") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// journalNote reports whether call invokes flight.Journal.Note.
+func journalNote(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Note" {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "crane/internal/obs/flight" {
+		return false
+	}
+	return named.Obj().Name() == "Journal"
 }
 
 // registryCreation reports whether call registers a new instrument on
@@ -50,6 +97,7 @@ func registryCreation(pass *Pass, call *ast.CallExpr) (string, bool) {
 }
 
 func runObsReg(pass *Pass) {
+	hot := flightHot(pass)
 	for _, file := range pass.Files {
 		// loopDepth tracks whether the current node sits inside a loop.
 		var stack []ast.Node
@@ -61,6 +109,17 @@ func runObsReg(pass *Pass) {
 			stack = append(stack, n)
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if hot && journalNote(pass, call) {
+				for _, anc := range stack[:len(stack)-1] {
+					switch anc.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						pass.Report(call.Pos(),
+							"Journal.Note inside a determinism hot loop allocates per event; use the fixed-arity Journal.Emit fast path or hoist the annotation out of the loop")
+						return true
+					}
+				}
 				return true
 			}
 			label, ok := registryCreation(pass, call)

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -35,8 +36,10 @@ type Server struct {
 
 // StartServer serves reg and health on addr ("host:0" picks a free port).
 // health may be nil (the endpoint then returns 404); tracer may be nil
-// (/trace returns an empty body).
-func StartServer(addr string, reg *Registry, health func() Health, tracer *Tracer) (*Server, error) {
+// (/trace returns an empty body); journal may be nil (/journal returns
+// 404) — when set it dumps the replica's flight-recorder journal as JSONL
+// for offline divergence localization (crane-inspect).
+func StartServer(addr string, reg *Registry, health func() Health, tracer *Tracer, journal func(io.Writer) error) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -57,6 +60,14 @@ func StartServer(addr string, reg *Registry, health func() Health, tracer *Trace
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		tracer.WriteJSONL(w)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, _ *http.Request) {
+		if journal == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		journal(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -420,6 +420,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
 		fmt.Fprintf(&b, "%s_sum %g\n", h.name, float64(h.sum.Load())/scale)
 		fmt.Fprintf(&b, "%s_count %d\n", h.name, cum)
+		// Precomputed quantile gauges alongside the cumulative series, for
+		// scrapers that don't run histogram_quantile(). Same unit scaling
+		// as the buckets (seconds for duration histograms).
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			fmt.Fprintf(&b, "# HELP %s_%s %s (%s estimate)\n# TYPE %s_%s gauge\n%s_%s %g\n",
+				h.name, q.suffix, h.help, q.suffix, h.name, q.suffix,
+				h.name, q.suffix, float64(h.Quantile(q.q))/scale)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

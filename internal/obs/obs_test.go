@@ -109,6 +109,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"# TYPE wal_fsync_seconds histogram",
 		`wal_fsync_seconds_bucket{le="+Inf"} 1`,
 		"wal_fsync_seconds_count 1",
+		// Precomputed quantile gauges ride alongside the cumulative series.
+		"# TYPE wal_fsync_seconds_p50 gauge",
+		"# TYPE wal_fsync_seconds_p95 gauge",
+		"# TYPE wal_fsync_seconds_p99 gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
@@ -132,6 +136,22 @@ func TestWritePrometheusFormat(t *testing.T) {
 			t.Fatalf("non-cumulative buckets: %q after %d", line, lastCum)
 		}
 		lastCum = n
+	}
+	// Quantile gauges use the same seconds scaling as the buckets: the 2ms
+	// observation must render as a sub-second float, not raw nanoseconds.
+	sc = bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "wal_fsync_seconds_p50 ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line, "wal_fsync_seconds_p50 %g", &v); err != nil {
+			t.Fatalf("bad quantile gauge line %q", line)
+		}
+		if v <= 0 || v >= 1 {
+			t.Fatalf("p50 gauge not in seconds: %q", line)
+		}
 	}
 }
 
@@ -197,11 +217,29 @@ func TestTracerRingAndJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if len(lines) != 4 {
+	if len(lines) != 5 { // 4 retained events + truncation marker
 		t.Fatalf("%d JSONL lines", len(lines))
 	}
 	if !strings.Contains(lines[0], `"req":3`) || !strings.Contains(lines[0], `"stage":"admit"`) {
 		t.Fatalf("line = %s", lines[0])
+	}
+	// Overflow accounting: 6 events into a 4-ring drops 2, and the dump
+	// ends with a truncation marker carrying that count.
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	if lines[4] != `{"truncated":true,"dropped":2}` {
+		t.Fatalf("truncation marker = %s", lines[4])
+	}
+	// A ring that never wrapped emits no marker and reports zero drops.
+	full := NewTracer(8)
+	full.Record(SpanEvent{Req: 1, Stage: StageAdmit, Wall: 1})
+	var b2 bytes.Buffer
+	if err := full.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if full.Dropped() != 0 || strings.Contains(b2.String(), "truncated") {
+		t.Fatalf("unwrapped ring leaked truncation state: dropped=%d dump=%q", full.Dropped(), b2.String())
 	}
 	// Wall auto-stamping.
 	tr2 := NewTracer(2)
@@ -257,7 +295,10 @@ func TestHTTPServer(t *testing.T) {
 	tr.Record(SpanEvent{Req: 1, Stage: StageAdmit})
 	srv, err := StartServer("127.0.0.1:0", r, func() Health {
 		return Health{Replica: 2, Primary: true, View: 3, CommitIndex: 17, Mode: "crane"}
-	}, tr)
+	}, tr, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"meta":"crane-flight-journal","replica":"r2"}`+"\n")
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,6 +327,9 @@ func TestHTTPServer(t *testing.T) {
 	}
 	if out := get("/trace"); !strings.Contains(out, `"stage":"admit"`) {
 		t.Fatalf("/trace = %q", out)
+	}
+	if out := get("/journal"); !strings.Contains(out, `"meta":"crane-flight-journal"`) {
+		t.Fatalf("/journal = %q", out)
 	}
 	if out := get("/debug/pprof/cmdline"); out == "" {
 		t.Fatal("pprof cmdline empty")

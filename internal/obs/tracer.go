@@ -44,6 +44,7 @@ type Tracer struct {
 	buf     []SpanEvent
 	next    int
 	wrapped bool
+	dropped uint64 // events overwritten after the ring filled
 }
 
 // NewTracer creates a tracer keeping the most recent capacity events.
@@ -70,8 +71,21 @@ func (t *Tracer) Record(ev SpanEvent) {
 		t.buf[t.next] = ev
 		t.next = (t.next + 1) % cap(t.buf)
 		t.wrapped = true
+		t.dropped++
 	}
 	t.mu.Unlock()
+}
+
+// Dropped returns how many events the ring has overwritten since start:
+// a nonzero value means the /trace dump is a suffix, not the full run.
+// Safe on a nil receiver.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Len returns the number of retained events.
@@ -125,6 +139,17 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		line = strconv.AppendUint(line, ev.Logical, 10)
 		line = append(line, `,"lane":`...)
 		line = strconv.AppendInt(line, int64(ev.Lane), 10)
+		line = append(line, '}', '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	// A trailing marker tells consumers the dump is a suffix of the run:
+	// the ring overwrote `dropped` older events after filling up.
+	if n := t.Dropped(); n > 0 {
+		line = line[:0]
+		line = append(line, `{"truncated":true,"dropped":`...)
+		line = strconv.AppendUint(line, n, 10)
 		line = append(line, '}', '\n')
 		if _, err := w.Write(line); err != nil {
 			return err

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 	"crane/internal/wal"
 )
 
@@ -73,6 +74,10 @@ type Message struct {
 	LastNorm  uint64 // last view in which the sender was in Normal status
 	Entries   []LogEntry
 	Primary   int
+	// Audit piggybacks the sender's latest flight-recorder audit samples
+	// (rolling journal hashes + output fingerprint) on AcceptOK replies so
+	// the primary can cross-check replicas without extra messages.
+	Audit []flight.AuditSample
 }
 
 // Status is a node's protocol status.
@@ -123,6 +128,12 @@ type Config struct {
 	// sizes, propose-to-commit latency, view gauges). nil disables all
 	// instrumentation at zero cost.
 	Obs *obs.Registry
+	// AuditSource, when set, supplies fresh flight-recorder audit samples
+	// to piggyback on outgoing AcceptOK replies (nil return = nothing new).
+	AuditSource func() []flight.AuditSample
+	// OnAudit receives audit samples piggybacked on messages from peers.
+	// Called from the event loop; implementations must not block.
+	OnAudit func(from int, samples []flight.AuditSample)
 }
 
 // Batching defaults.
@@ -689,10 +700,10 @@ func (n *Node) onAccept(msg Message) {
 	switch {
 	case msg.Index == n.lastLogIndex()+1:
 		n.log = append(n.log, LogEntry{Index: msg.Index, View: msg.View, Payload: msg.Payload})
-		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: msg.Index})
+		n.sendAcceptOK(msg.From, msg.Index)
 	case msg.Index <= n.lastLogIndex():
 		// Duplicate (e.g. retransmission): re-ack idempotently.
-		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: msg.Index})
+		n.sendAcceptOK(msg.From, msg.Index)
 	default:
 		// Gap: request catch-up.
 		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
@@ -721,11 +732,24 @@ func (n *Node) onAcceptBatch(msg Message) {
 	if lli := n.lastLogIndex(); last > lli {
 		last = lli
 	}
-	n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: last})
+	n.sendAcceptOK(msg.From, last)
 	n.applyCommit(msg.CommitIdx)
 }
 
+// sendAcceptOK replies with an AcceptOK, piggybacking any fresh
+// flight-recorder audit samples for the primary to cross-check.
+func (n *Node) sendAcceptOK(to int, idx uint64) {
+	m := Message{Type: MsgAcceptOK, View: n.view, Index: idx}
+	if n.cfg.AuditSource != nil {
+		m.Audit = n.cfg.AuditSource()
+	}
+	n.send(to, m)
+}
+
 func (n *Node) onAcceptOK(msg Message) {
+	if n.cfg.OnAudit != nil && len(msg.Audit) > 0 {
+		n.cfg.OnAudit(msg.From, msg.Audit)
+	}
 	if msg.View != n.view || n.primary != n.cfg.ID || n.status != StatusNormal {
 		return
 	}
@@ -1049,7 +1073,7 @@ func (n *Node) installNewView(view uint64, primary int, commit uint64, suffix []
 	}
 	// Ack any uncommitted entries we just installed (one cumulative OK).
 	if primary != n.cfg.ID && n.lastLogIndex() > n.commitIdx {
-		n.send(primary, Message{Type: MsgAcceptOK, View: n.view, Index: n.lastLogIndex()})
+		n.sendAcceptOK(primary, n.lastLogIndex())
 	}
 }
 
@@ -1095,7 +1119,7 @@ func (n *Node) onEntries(msg Message) {
 	}
 	if appendedUncommitted {
 		// One cumulative OK covers every uncommitted entry just appended.
-		n.send(msg.From, Message{Type: MsgAcceptOK, View: n.view, Index: n.lastLogIndex()})
+		n.sendAcceptOK(msg.From, n.lastLogIndex())
 	}
 	if len(msg.Entries) == catchUpBatch && n.lastLogIndex() < msg.CommitIdx {
 		// More committed entries remain: keep pulling.

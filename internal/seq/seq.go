@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"crane/internal/obs"
+	"crane/internal/obs/flight"
 )
 
 // Kind discriminates sequence entries.
@@ -227,6 +228,16 @@ type Sequence struct {
 	// traffic and nil when observability is off.
 	queueWait    *obs.Histogram
 	consumedHook func(e *Entry)
+
+	// flight journals consumption acts into this lane's flight-recorder
+	// ring (one event per consumed entry; bubble clock ticks are coalesced
+	// into a single event at exhaustion so the grind stays event-free).
+	// All consumption happens while the caller holds the lane token, so
+	// emission preserves the journal's single-writer discipline.
+	// flightClock supplies the lane's logical clock for entry stamps
+	// (lock-free read); nil when recording is off.
+	flight      *flight.Journal
+	flightClock func() uint64
 }
 
 // New creates an empty sequence.
@@ -257,6 +268,26 @@ func (s *Sequence) SetObs(reg *obs.Registry) {
 	reg.GaugeFunc("seq_bubble_clocks_total", "logical clocks consumed from bubbles", func() float64 {
 		return float64(s.Stats().BubbleClocks)
 	})
+}
+
+// SetFlight installs the lane's flight-recorder journal and a lock-free
+// logical-clock source for event stamps. Install before traffic; a nil
+// journal disables journaling.
+func (s *Sequence) SetFlight(j *flight.Journal, clock func() uint64) {
+	s.mu.Lock()
+	s.flight = j
+	s.flightClock = clock
+	s.mu.Unlock()
+}
+
+// flightEmit journals one consumption act. Called under s.mu.
+func (s *Sequence) flightEmit(kind uint8, a uint64) {
+	clk := uint64(0)
+	if s.flightClock != nil {
+		clk = s.flightClock()
+	}
+	pos := s.progressA.Load()
+	s.flight.Emit(kind, clk, pos, a, pos)
 }
 
 // SetConsumedHook installs fn, invoked once per fully consumed client call
@@ -432,6 +463,9 @@ func (s *Sequence) TickBubble() bool {
 	}
 	if e.NClock == 0 {
 		s.popLocked()
+		if s.flight != nil {
+			s.flightEmit(flight.EvBubble, e.Req)
+		}
 	}
 	return true
 }
@@ -450,6 +484,9 @@ func (s *Sequence) PopConnect() (connID uint64, port int, ok bool) {
 	s.progressA.Add(1)
 	if e.Spec {
 		s.specConsumed++
+	}
+	if s.flight != nil {
+		s.flightEmit(flight.EvConnect, e.Conn)
 	}
 	return e.Conn, e.Port, true
 }
@@ -493,6 +530,9 @@ func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 		s.popLocked()
 		s.consumedCalls++
 		s.progressA.Add(1)
+		if s.flight != nil {
+			s.flightEmit(flight.EvSend, conn)
+		}
 	}
 	if n == 0 && s.pendingLocked() > 0 {
 		e := s.headLocked()
@@ -503,6 +543,9 @@ func (s *Sequence) ReadInto(conn uint64, b []byte) (n int, eof bool) {
 			s.popLocked()
 			s.consumedCalls++
 			s.progressA.Add(1)
+			if s.flight != nil {
+				s.flightEmit(flight.EvClose, conn)
+			}
 			return 0, true
 		}
 	}
@@ -528,6 +571,13 @@ func (s *Sequence) PopIfConn(conn uint64) bool {
 	s.popLocked()
 	s.consumedCalls++
 	s.progressA.Add(1)
+	if s.flight != nil {
+		if e.Kind == KindClose {
+			s.flightEmit(flight.EvClose, conn)
+		} else {
+			s.flightEmit(flight.EvSend, conn)
+		}
+	}
 	return true
 }
 

@@ -70,7 +70,9 @@ func hashEvent(h, conn uint64, data []byte) uint64 {
 
 // Record appends one outgoing socket call and folds it into the running
 // fingerprint, keeping Fingerprint O(1) instead of rehashing every event.
-func (l *OutputLog) Record(conn uint64, data []byte) {
+// It returns the new output count and rolling fingerprint so callers can
+// feed divergence-audit samples without re-locking.
+func (l *OutputLog) Record(conn uint64, data []byte) (n int, fp uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, Event{
@@ -79,6 +81,7 @@ func (l *OutputLog) Record(conn uint64, data []byte) {
 		Data: append([]byte(nil), data...),
 	})
 	l.hash = hashEvent(l.hash, conn, l.normalized(data))
+	return len(l.events), l.hash
 }
 
 // Len returns the number of recorded outputs.
