@@ -16,10 +16,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the repo's own cranevet suite (internal/lint): nondeterminism
-# in replicated code, lock-order cycles, dropped durability errors, and
-# observation-path instrument registration. Violations exit non-zero;
-# suppress intentionally with //crane:<analyzer>-ok <reason>.
+# lint runs the repo's own full cranevet suite (internal/lint): raw
+# nondeterminism in replicated code, lock-order cycles, dropped
+# durability errors, observation-path instrument registration, lane
+# consistency, speculation-gate leaks, interprocedural nondeterminism
+# taint (detflow), and atomic/plain access mixes (atomicmix). Violations
+# exit non-zero; suppress intentionally with //crane:<analyzer>-ok
+# <reason>. Use `go run ./cmd/cranevet -format=sarif ./...` for
+# code-scanning output.
 lint:
 	$(GO) run ./cmd/cranevet ./...
 

@@ -5,9 +5,13 @@
 //
 //	go run ./cmd/cranevet ./...
 //	go build -o cranevet ./cmd/cranevet && ./cranevet ./internal/apps/...
+//	./cranevet -format=sarif ./... > cranevet.sarif
 //
-// Findings print in go-vet format (file:line:col: analyzer: message) and
-// a non-zero exit status marks the build dirty. Deliberate escapes are
+// Findings print in go-vet format (file:line:col: analyzer: message) by
+// default; -format=json and -format=sarif emit machine-readable output
+// (SARIF 2.1.0 suits code-scanning upload). Every format lists findings
+// in the same deterministic (file, line, column, analyzer) order. A
+// non-zero exit status marks the build dirty. Deliberate escapes are
 // annotated in source with "//crane:<analyzer>-ok <reason>".
 //
 // The tool is built only on the standard library's go/ast and go/types
@@ -25,8 +29,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cranevet [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: cranevet [-list] [-format=text|json|sarif] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the CRANE determinism/invariant analyzers over the packages\n")
 		fmt.Fprintf(os.Stderr, "matched by the given go-list patterns (default ./...).\n")
 	}
@@ -35,7 +40,7 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -50,8 +55,20 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	switch *format {
+	case "text":
+		err = lint.WriteText(os.Stdout, diags)
+	case "json":
+		err = lint.WriteJSON(os.Stdout, diags)
+	case "sarif":
+		err = lint.WriteSARIF(os.Stdout, analyzers, diags)
+	default:
+		fmt.Fprintf(os.Stderr, "cranevet: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cranevet:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "cranevet: %d finding(s)\n", len(diags))

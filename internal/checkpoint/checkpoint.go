@@ -111,7 +111,7 @@ func (c *Checkpointer) Capture(proc Process, fs *cfs.FS, base *cfs.Snapshot, ind
 		Index:   idx,
 		Process: procImg,
 		FSPatch: *patch,
-		Taken:   time.Now(),
+		Taken:   time.Now(), //crane:detflow-ok capture wall-clock stamp, diagnostics only
 	}, tm, nil
 }
 
@@ -142,7 +142,7 @@ func (c *Checkpointer) TryCapture(proc Process, fs *cfs.FS, base *cfs.Snapshot, 
 		Index:   idx,
 		Process: procImg,
 		FSPatch: *patch,
-		Taken:   time.Now(),
+		Taken:   time.Now(), //crane:detflow-ok capture wall-clock stamp, diagnostics only
 	}, tm, nil
 }
 

@@ -164,7 +164,7 @@ func (p *proxy) submitLoop() {
 	reqs := make([]submitReq, 0, maxProxyBurst)
 	for {
 		reqs = reqs[:0]
-		select {
+		select { //crane:detflow-ok leader-side batching choice; composition is replicated through consensus before execution
 		case r := <-p.subCh:
 			reqs = append(reqs, r)
 		case <-p.stopCh:

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"strings"
+)
+
+// DetflowAnalyzer is the interprocedural companion of nondet: instead of
+// flagging a nondeterminism source at its use site, it follows the value
+// through assignments, helpers, struct fields, and closures, and reports
+// only when the taint reaches a determinism sink — the seq wire, the DMT
+// schedule, the speculation output gate, a WAL payload, the output
+// fingerprint, or a client socket. That direction kills both failure
+// modes of the pattern matcher at once: a timestamp laundered through
+// three calls in another package is caught (nondet never sees it), and a
+// replica-local time.Now that feeds only a log line stops being a false
+// positive (detflow stays silent because no sink is reached).
+//
+// Suppression: "//crane:detflow-ok <reason>" on the sink line (or the
+// line above) silences one finding; the same annotation on the *source*
+// line (where the time.Now / rand / map range fires) silences every
+// finding that source fans out to — the right tool for a stats timestamp
+// that legitimately flows near the wire but is never serialized. The
+// reason is mandatory, like every cranevet suppression.
+var DetflowAnalyzer = &Analyzer{
+	Name: "detflow",
+	Doc: "follow nondeterministic values interprocedurally and flag them " +
+		"only when they reach a determinism sink (seq wire, DMT schedule, " +
+		"output gate, WAL, output log)",
+	RunEngine: runDetflow,
+}
+
+func runDetflow(eng *Engine, passes []*Pass) {
+	for _, f := range eng.sortedFindings() {
+		pass := passes[f.pkgIx]
+		chain := strings.Join(f.chain, " → ")
+		pass.reportRelatedPosition(f.pos, f.srcPos,
+			"nondeterministic value (%s at %s) reaches %s via %s; replicas will diverge — route it through papi, or annotate //crane:detflow-ok <reason>",
+			f.kind, f.srcPos, f.sink, chain)
+	}
+}

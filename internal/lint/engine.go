@@ -1,0 +1,1452 @@
+package lint
+
+// The interprocedural dataflow engine (ISSUE 9). The intra-function
+// analyzers built so far (nondet, specleak, laneconsistency) are pattern
+// matchers: they flag a raw time.Now *at the call site* but cannot see the
+// same value returned from a helper two hops away and fed to the seq wire.
+// This engine closes that gap with classic bottom-up summary computation:
+//
+//  1. A call graph is built over every package the loader type-checked
+//     from source, with edges resolved through go/types (package
+//     functions, methods, and locally-bound closures). Cross-package
+//     callees are keyed by a stable "pkgpath.Recv.Name" string because a
+//     package loaded from source and the same package seen through gc
+//     export data produce distinct types.Func objects.
+//
+//  2. Strongly connected components (Tarjan) order the graph so callee
+//     summaries exist before callers need them; members of one SCC
+//     iterate together to a fixpoint.
+//
+//  3. Each function body is analyzed flow-insensitively to its own
+//     fixpoint: taint propagates through assignments, composite
+//     literals, returns, parameters, struct fields, package-level
+//     variables, and closure bodies (closures are analyzed inline against
+//     the enclosing function's environment, so captured variables flow
+//     both ways). The result is a summary: which results carry source
+//     taint unconditionally, which parameters flow to which results, and
+//     which parameters flow into a determinism sink inside the function
+//     or its callees.
+//
+//  4. A final reporting pass re-runs the intra-function analysis with
+//     every summary in place and emits a finding wherever real source
+//     taint reaches a sink, carrying the full laundering chain
+//     (source function → helpers → sink) in the message.
+//
+// Struct fields and package-level variables are tracked engine-wide by a
+// name key (over-approximate across same-named fields of one package, and
+// only real source taint — not parameter taint — enters the global set);
+// the summary phase repeats until that set stabilizes.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Sources and sinks
+// ---------------------------------------------------------------------------
+
+// Source kinds, shared with the nondet analyzer: both tools must agree on
+// what counts as nondeterminism, nondet flags the construct at its use
+// site in replicated packages, detflow follows the value.
+const (
+	kindTime      = "time.Now"
+	kindRand      = "math/rand"
+	kindEnv       = "os.Getenv"
+	kindMapOrder  = "map iteration order"
+	kindSelect    = "select arm order"
+	kindPtrFormat = "pointer formatting"
+	kindMapHash   = "unseeded maphash"
+)
+
+// sourceFuncs maps a function key (see funcID) to its source kind.
+// Functions whose whole package is a source (math/rand, hash/maphash) are
+// matched by sourcePkgs instead.
+var sourceFuncs = map[string]string{
+	"time.Now":     kindTime,
+	"time.Since":   kindTime,
+	"time.Until":   kindTime,
+	"os.Getenv":    kindEnv,
+	"os.LookupEnv": kindEnv,
+	"os.Environ":   kindEnv,
+}
+
+// sourcePkgs taints every call into the package.
+var sourcePkgs = map[string]string{
+	"math/rand":    kindRand,
+	"math/rand/v2": kindRand,
+	"hash/maphash": kindMapHash,
+}
+
+// sinkSpec describes one determinism sink: the label findings carry, and
+// whether the receiver itself is payload. For almost every sink only the
+// explicit arguments cross the boundary — a *Sequence with a tainted
+// stats field does not make Enqueue nondeterministic — but for
+// Entry.Encode the receiver IS the payload.
+type sinkSpec struct {
+	label string
+	recv  bool
+}
+
+// sinkFuncs maps function keys to their sink spec. These are the
+// determinism boundary of the system: a nondeterministic value crossing
+// any of them reaches the consensus wire, the schedule, the durable log,
+// or a client — and breaks the bit-identical-replicas guarantee.
+var sinkFuncs = map[string]sinkSpec{
+	// seq wire: what gets proposed must be identical on every replica.
+	"crane/internal/seq.Entry.Encode":         {"seq.Entry.Encode", true},
+	"crane/internal/seq.EncodeBatch":          {"seq.EncodeBatch", false},
+	"crane/internal/seq.Sequence.Enqueue":     {"seq.Sequence.Enqueue", false},
+	"crane/internal/seq.Sequence.EnqueueSpec": {"seq.Sequence.EnqueueSpec", false},
+	// DMT schedule: spawn names and wait/signal keys fold into the
+	// deterministic schedule hash.
+	"crane/internal/dmt.Scheduler.Spawn":  {"dmt.Scheduler.Spawn", false},
+	"crane/internal/dmt.Thread.WaitOn":    {"dmt.Thread.WaitOn", false},
+	"crane/internal/dmt.Thread.SignalKey": {"dmt.Thread.SignalKey", false},
+	"crane/internal/papi.T.Spawn":         {"papi.T.Spawn", false},
+	"crane/internal/papi.T.SpawnLane":     {"papi.T.SpawnLane", false},
+	// Client-visible output: the speculation gate and the app socket layer.
+	"crane/internal/crane.Replica.emitOutput": {"crane.Replica.emitOutput", false},
+	"crane/internal/crane.speculator.emit":    {"crane.speculator.emit", false},
+	"crane/internal/papi.Conn.Send":           {"papi.Conn.Send", false},
+	// Durability and the cross-replica output fingerprint.
+	"crane/internal/wal.Log.Append":         {"wal.Log.Append", false},
+	"crane/internal/wal.Log.AppendBatch":    {"wal.Log.AppendBatch", false},
+	"crane/internal/trace.OutputLog.Record": {"trace.OutputLog.Record", false},
+}
+
+// funcID builds the stable cross-package identity of a function:
+// "pkgpath.Name" for package functions, "pkgpath.Recv.Name" for methods
+// (pointer receivers and interface methods included).
+func funcID(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name() + "."
+		}
+	}
+	return fn.Pkg().Path() + "." + recv + fn.Name()
+}
+
+// shortName is the human form used in chain messages: "pkg.Func" or
+// "pkg.Recv.Func" with the package's base name.
+func shortName(fn *types.Func) string {
+	key := funcID(fn)
+	if fn.Pkg() != nil {
+		if i := strings.LastIndex(fn.Pkg().Path(), "/"); i >= 0 {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// ---------------------------------------------------------------------------
+// Taint lattice
+// ---------------------------------------------------------------------------
+
+// witness is one way a value became tainted: the source kind, where the
+// source fired, and the chain of functions the value was laundered
+// through. Parameter taint (kind "param:<i>") is the synthetic seed used
+// to compute summaries.
+type witness struct {
+	kind  string
+	pos   token.Pos
+	fset  *token.FileSet
+	chain []string
+}
+
+func (w witness) withChain(links ...string) witness {
+	if len(links) == 0 {
+		return w
+	}
+	chain := make([]string, 0, len(w.chain)+len(links))
+	chain = append(chain, w.chain...)
+	for _, l := range links {
+		if len(chain) == 0 || chain[len(chain)-1] != l {
+			chain = append(chain, l)
+		}
+	}
+	w.chain = chain
+	return w
+}
+
+func paramKind(i int) string { return "param:" + strconv.Itoa(i) }
+
+func paramIndex(kind string) (int, bool) {
+	if !strings.HasPrefix(kind, "param:") {
+		return 0, false
+	}
+	i, err := strconv.Atoi(kind[len("param:"):])
+	return i, err == nil
+}
+
+// wset is a taint set: at most one witness per kind (the first seen — the
+// shortest chain, since propagation is breadth-first-ish and monotone).
+type wset map[string]witness
+
+func (s wset) add(w witness) bool {
+	if _, ok := s[w.kind]; ok {
+		return false
+	}
+	s[w.kind] = w
+	return true
+}
+
+func (s wset) union(o wset) bool {
+	changed := false
+	for _, w := range o {
+		if s.add(w) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s wset) clone() wset {
+	c := make(wset, len(s))
+	for k, w := range s {
+		c[k] = w
+	}
+	return c
+}
+
+// real returns only the non-parameter witnesses.
+func (s wset) real() wset {
+	r := wset{}
+	for k, w := range s {
+		if _, isParam := paramIndex(k); !isParam {
+			r[k] = w
+		}
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Summaries
+// ---------------------------------------------------------------------------
+
+// sinkHit records taint reaching a sink call inside a function (or one of
+// its callees, with the chain extended accordingly).
+type sinkHit struct {
+	sink  string    // sink label from sinkFuncs
+	pos   token.Pos // the sink call site
+	pkgIx int       // index of the package containing pos
+	chain []string  // functions from summary owner to the sink
+}
+
+// summary is the interprocedural contract of one function.
+type summary struct {
+	nParams int
+	nRets   int
+	// retSource[j]: real taint carried by result j regardless of inputs.
+	retSource []wset
+	// paramRet[i][j]: non-nil if param i flows to result j; the value is
+	// the chain of helpers traversed on the way.
+	paramRet [][][]string
+	// paramSink[i]: sinks param i reaches inside this function or below.
+	paramSink [][]sinkHit
+}
+
+func newSummary(nParams, nRets int) *summary {
+	s := &summary{nParams: nParams, nRets: nRets}
+	s.retSource = make([]wset, nRets)
+	for j := range s.retSource {
+		s.retSource[j] = wset{}
+	}
+	s.paramRet = make([][][]string, nParams)
+	for i := range s.paramRet {
+		s.paramRet[i] = make([][]string, nRets)
+	}
+	s.paramSink = make([][]sinkHit, nParams)
+	return s
+}
+
+func (s *summary) addParamSink(i int, h sinkHit) bool {
+	for _, e := range s.paramSink[i] {
+		if e.pos == h.pos && e.sink == h.sink {
+			return false
+		}
+	}
+	s.paramSink[i] = append(s.paramSink[i], h)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+// fnNode is one function with a body in the loaded universe.
+type fnNode struct {
+	key   string
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkgIx int
+	// callees are funcKeys of statically resolved calls with bodies.
+	callees map[string]bool
+	sum     *summary
+}
+
+// Engine holds the call graph and computed summaries for one loaded
+// package universe. Build once per RunAnalyzers invocation; analyzers
+// with a RunEngine hook receive it.
+type Engine struct {
+	pkgs  []*Package
+	fns   map[string]*fnNode
+	order [][]string // SCCs, callees before callers
+	// globalTaint holds real taint of struct fields and package-level
+	// variables, keyed by objKey.
+	globalTaint map[string]wset
+	// findings collected by the reporting pass, deduplicated engine-wide
+	// by (sink position, source kind, source position) so two callers of
+	// one leaky helper yield one finding.
+	findings map[string]engineFinding
+}
+
+type engineFinding struct {
+	pos    token.Pos
+	pkgIx  int
+	kind   string
+	srcPos token.Position
+	sink   string
+	chain  []string
+}
+
+// objKey names a struct field or package-level variable engine-wide.
+// Fields are keyed by declaration site (file base name + line + name), so
+// same-named fields of different structs in one package stay distinct;
+// gc export data preserves declaration positions, so a field seen through
+// an import keys the same as in its source-loaded package.
+func objKey(fset *token.FileSet, obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	if v.IsField() {
+		pos := fset.Position(v.Pos())
+		return v.Pkg().Path() + ".field." + filepath.Base(pos.Filename) + ":" +
+			strconv.Itoa(pos.Line) + "." + v.Name()
+	}
+	// Package-level variable?
+	if v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + ".var." + v.Name()
+	}
+	return ""
+}
+
+// NewEngine builds the call graph and computes all summaries.
+func NewEngine(pkgs []*Package) *Engine {
+	e := &Engine{
+		pkgs:        pkgs,
+		fns:         map[string]*fnNode{},
+		globalTaint: map[string]wset{},
+		findings:    map[string]engineFinding{},
+	}
+	for ix, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcID(fn)
+				if key == "" {
+					continue
+				}
+				e.fns[key] = &fnNode{key: key, fn: fn, decl: fd, pkgIx: ix}
+			}
+		}
+	}
+	for _, node := range e.fns {
+		node.callees = e.collectCallees(node)
+	}
+	e.order = e.sccOrder()
+	e.computeSummaries()
+	e.reportingPass()
+	return e
+}
+
+// collectCallees records the statically resolvable callees of node that
+// have bodies in the universe.
+func (e *Engine) collectCallees(node *fnNode) map[string]bool {
+	out := map[string]bool{}
+	pkg := e.pkgs[node.pkgIx]
+	ast.Inspect(node.decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCallee(pkg.Info, call); fn != nil {
+			if key := funcID(fn); key != "" {
+				if _, have := e.fns[key]; have {
+					out[key] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// staticCallee resolves a call to its *types.Func when the target is a
+// package function or a concrete method (interface calls and func values
+// return the interface/abstract method, which simply has no body node).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// sccOrder returns Tarjan SCCs in reverse topological order (callees
+// before callers), deterministically.
+func (e *Engine) sccOrder() [][]string {
+	keys := make([]string, 0, len(e.fns))
+	for k := range e.fns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		callees := make([]string, 0, len(e.fns[v].callees))
+		for c := range e.fns[v].callees {
+			callees = append(callees, c)
+		}
+		sort.Strings(callees)
+		for _, w := range callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+	// Tarjan emits SCCs in reverse topological order already (a
+	// component is completed only after everything it reaches).
+	return sccs
+}
+
+// computeSummaries runs the bottom-up summary phase, iterating the whole
+// schedule until the engine-wide field/global taint set stabilizes.
+func (e *Engine) computeSummaries() {
+	for round := 0; round < 4; round++ {
+		changed := false
+		for _, scc := range e.order {
+			// Members of an SCC iterate together until their summaries
+			// stop changing.
+			for iter := 0; iter < 8; iter++ {
+				sccChanged := false
+				for _, key := range scc {
+					node := e.fns[key]
+					fa := e.analyze(node, false)
+					if e.installSummary(node, fa) {
+						sccChanged = true
+					}
+				}
+				if !sccChanged {
+					break
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// installSummary replaces node's summary with the freshly computed one,
+// reporting whether anything grew.
+func (e *Engine) installSummary(node *fnNode, fresh *summary) bool {
+	old := node.sum
+	node.sum = fresh
+	if old == nil {
+		return true
+	}
+	if len(old.retSource) != len(fresh.retSource) {
+		return true
+	}
+	for j := range fresh.retSource {
+		if len(fresh.retSource[j]) != len(old.retSource[j]) {
+			return true
+		}
+	}
+	for i := range fresh.paramRet {
+		for j := range fresh.paramRet[i] {
+			if (fresh.paramRet[i][j] != nil) != (old.paramRet[i][j] != nil) {
+				return true
+			}
+		}
+	}
+	for i := range fresh.paramSink {
+		if len(fresh.paramSink[i]) != len(old.paramSink[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportingPass re-analyzes every function with final summaries and
+// collects real-taint-reaches-sink findings.
+func (e *Engine) reportingPass() {
+	for _, scc := range e.order {
+		for _, key := range scc {
+			e.analyze(e.fns[key], true)
+		}
+	}
+}
+
+// sortedFindings returns the reporting-pass results in deterministic
+// (package, position) order.
+func (e *Engine) sortedFindings() []engineFinding {
+	out := make([]engineFinding, 0, len(e.findings))
+	for _, f := range e.findings {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pkgIx != b.pkgIx {
+			return a.pkgIx < b.pkgIx
+		}
+		if a.pos != b.pos {
+			return a.pos < b.pos
+		}
+		return a.kind < b.kind
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Intra-function analysis
+// ---------------------------------------------------------------------------
+
+// fnAnalysis is the per-function environment of one analyze run.
+type fnAnalysis struct {
+	eng    *Engine
+	node   *fnNode
+	pkg    *Package
+	report bool
+	env    map[types.Object]wset
+	// closures maps local variables bound to exactly one FuncLit, so
+	// calls through them can use the lit's return taint.
+	closures map[types.Object]*ast.FuncLit
+	// litRets caches per-FuncLit return taints from the current walk.
+	litRets map[*ast.FuncLit][]wset
+	sum     *summary
+}
+
+// analyze runs the flow-insensitive fixpoint over node's body. With
+// report=false it computes and returns a fresh summary; with report=true
+// it emits findings for real taint reaching sinks.
+func (e *Engine) analyze(node *fnNode, report bool) *summary {
+	pkg := e.pkgs[node.pkgIx]
+	sig := node.fn.Type().(*types.Signature)
+	params := flattenParams(sig)
+	nRets := sig.Results().Len()
+
+	fa := &fnAnalysis{
+		eng:      e,
+		node:     node,
+		pkg:      pkg,
+		report:   report,
+		env:      map[types.Object]wset{},
+		closures: map[types.Object]*ast.FuncLit{},
+		litRets:  map[*ast.FuncLit][]wset{},
+		sum:      newSummary(len(params), nRets),
+	}
+	// Seed parameters (receiver first) with their synthetic kinds.
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		fa.env[p] = wset{paramKind(i): {kind: paramKind(i)}}
+	}
+	retTaint := make([]wset, nRets)
+	for j := range retTaint {
+		retTaint[j] = wset{}
+	}
+	for iter := 0; iter < 12; iter++ {
+		// Closure bodies are re-walked each iteration so taint captured
+		// from the enclosing scope after the first pass still propagates.
+		fa.litRets = map[*ast.FuncLit][]wset{}
+		changed := fa.walkBody(node.decl.Body, retTaint, sig)
+		if !changed {
+			break
+		}
+	}
+	// Fold return taints into the summary.
+	for j, ts := range retTaint {
+		for kind, w := range ts {
+			if i, isParam := paramIndex(kind); isParam {
+				if fa.sum.paramRet[i][j] == nil {
+					fa.sum.paramRet[i][j] = append([]string{}, w.chain...)
+				}
+				continue
+			}
+			fa.sum.retSource[j].add(w.withChain(shortName(node.fn)))
+		}
+	}
+	return fa.sum
+}
+
+// flattenParams returns receiver + parameters as objects (nil entries for
+// unnamed/underscore parameters keep indexes stable).
+func flattenParams(sig *types.Signature) []*types.Var {
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// walkBody processes every statement once, in source order, merging taint
+// into fa.env; returns whether anything changed.
+func (fa *fnAnalysis) walkBody(body *ast.BlockStmt, retTaint []wset, sig *types.Signature) bool {
+	w := &stmtWalker{fa: fa, retTaint: retTaint, sig: sig}
+	w.stmt(body)
+	return w.changed
+}
+
+type stmtWalker struct {
+	fa       *fnAnalysis
+	retTaint []wset
+	sig      *types.Signature
+	changed  bool
+}
+
+func (w *stmtWalker) merge(obj types.Object, ts wset) {
+	if obj == nil || len(ts) == 0 {
+		return
+	}
+	cur := w.fa.env[obj]
+	if cur == nil {
+		cur = wset{}
+		w.fa.env[obj] = cur
+	}
+	if cur.union(ts) {
+		w.changed = true
+	}
+	// Stores into struct fields and package-level variables publish real
+	// taint engine-wide.
+	if key := objKey(w.fa.pkg.Fset, obj); key != "" {
+		real := ts.real()
+		if len(real) > 0 {
+			g := w.fa.eng.globalTaint[key]
+			if g == nil {
+				g = wset{}
+				w.fa.eng.globalTaint[key] = g
+			}
+			if g.union(real) {
+				w.changed = true
+			}
+		}
+	}
+}
+
+func (w *stmtWalker) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				w.valueSpec(vs)
+			}
+		}
+	case *ast.ReturnStmt:
+		w.ret(s)
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		// `switch v := x.(type)`: each clause binds a distinct implicit
+		// object for v; all of them get x's taint.
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			ts := w.expr(as.Rhs[0])
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					if obj, ok := w.fa.pkg.Info.Implicits[cc]; ok {
+						w.merge(obj, ts)
+					}
+				}
+			}
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			w.expr(es.X)
+		}
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			w.expr(x)
+		}
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s)
+	case *ast.CommClause:
+		// handled by selectStmt
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+func (w *stmtWalker) valueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Names) > 1 && len(vs.Values) == 1 {
+		// var a, b = f()
+		tss := w.callResults(vs.Values[0], len(vs.Names))
+		for i, name := range vs.Names {
+			obj := w.fa.pkg.Info.Defs[name]
+			w.bindClosure(obj, vs.Values[0])
+			w.merge(obj, tss[i])
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			obj := w.fa.pkg.Info.Defs[name]
+			w.bindClosure(obj, vs.Values[i])
+			w.merge(obj, w.expr(vs.Values[i]))
+		}
+	}
+}
+
+// bindClosure records `v := func(...){...}` so calls through v resolve.
+func (w *stmtWalker) bindClosure(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+		w.fa.closures[obj] = lit
+	}
+}
+
+func (w *stmtWalker) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		tss := w.callResults(s.Rhs[0], len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			w.store(lhs, tss[i])
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		ts := w.expr(s.Rhs[i])
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				var obj types.Object
+				if s.Tok == token.DEFINE {
+					obj = w.fa.pkg.Info.Defs[id]
+				} else {
+					obj = w.fa.pkg.Info.Uses[id]
+				}
+				w.bindClosure(obj, s.Rhs[i])
+			}
+		}
+		w.store(lhs, ts)
+	}
+}
+
+// callResults evaluates a single-call RHS feeding n targets.
+func (w *stmtWalker) callResults(rhs ast.Expr, n int) []wset {
+	out := make([]wset, n)
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		rets := w.call(call)
+		for i := 0; i < n; i++ {
+			if i < len(rets) {
+				out[i] = rets[i]
+			} else {
+				out[i] = wset{}
+			}
+		}
+		return out
+	}
+	// map lookup `v, ok := m[k]`, type assertion, channel receive.
+	ts := w.expr(rhs)
+	for i := range out {
+		out[i] = ts
+	}
+	return out
+}
+
+// store merges ts into the object behind an lvalue.
+func (w *stmtWalker) store(lhs ast.Expr, ts wset) {
+	if len(ts) == 0 {
+		return
+	}
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := w.fa.pkg.Info.Defs[lhs]
+		if obj == nil {
+			obj = w.fa.pkg.Info.Uses[lhs]
+		}
+		w.merge(obj, ts)
+	case *ast.SelectorExpr:
+		// x.f = v: taint the field object (engine-wide for real kinds)
+		// and the base object.
+		if sel, ok := w.fa.pkg.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			w.merge(sel.Obj(), ts)
+		} else {
+			w.merge(w.fa.pkg.Info.Uses[lhs.Sel], ts)
+		}
+		w.merge(rootObjOf(w.fa.pkg.Info, lhs.X), ts)
+	case *ast.IndexExpr:
+		// Element store taints the container — except that storing into a
+		// *map* erases iteration-order taint: map contents are
+		// order-independent however they were inserted.
+		base := rootObjOf(w.fa.pkg.Info, lhs.X)
+		if tv, ok := w.fa.pkg.Info.Types[lhs.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				ts = ts.clone()
+				delete(ts, kindMapOrder)
+			}
+		}
+		w.merge(base, ts)
+	case *ast.StarExpr:
+		w.merge(rootObjOf(w.fa.pkg.Info, lhs.X), ts)
+	}
+}
+
+func (w *stmtWalker) ret(s *ast.ReturnStmt) {
+	if len(s.Results) == 0 {
+		// Bare return with named results: fold env of the named result
+		// objects.
+		res := w.sig.Results()
+		for j := 0; j < res.Len(); j++ {
+			if v := res.At(j); v != nil && v.Name() != "" {
+				if ts := w.fa.env[v]; ts != nil {
+					if w.retTaint[j].union(ts) {
+						w.changed = true
+					}
+				}
+			}
+		}
+		return
+	}
+	if len(s.Results) == 1 && len(w.retTaint) > 1 {
+		tss := w.callResults(s.Results[0], len(w.retTaint))
+		for j := range w.retTaint {
+			if w.retTaint[j].union(tss[j]) {
+				w.changed = true
+			}
+		}
+		return
+	}
+	for j, r := range s.Results {
+		if j >= len(w.retTaint) {
+			break
+		}
+		if w.retTaint[j].union(w.expr(r)) {
+			w.changed = true
+		}
+	}
+}
+
+func (w *stmtWalker) rangeStmt(s *ast.RangeStmt) {
+	ts := w.expr(s.X)
+	tv, ok := w.fa.pkg.Info.Types[s.X]
+	keyTaint, valTaint := ts, ts
+	if ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			// Map iteration: the sequence of keys/values is
+			// order-nondeterministic.
+			mo := wset{kindMapOrder: {kind: kindMapOrder, pos: s.Pos(), fset: w.fa.pkg.Fset,
+				chain: []string{shortName(w.fa.node.fn)}}}
+			keyTaint = keyTaint.clone()
+			keyTaint.union(mo)
+			valTaint = keyTaint
+		}
+	}
+	for taint, e := range map[*wset]ast.Expr{&keyTaint: s.Key, &valTaint: s.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			obj := w.fa.pkg.Info.Defs[id]
+			if obj == nil {
+				obj = w.fa.pkg.Info.Uses[id]
+			}
+			w.merge(obj, *taint)
+		} else {
+			w.store(e, *taint)
+		}
+	}
+	w.stmt(s.Body)
+}
+
+func (w *stmtWalker) selectStmt(s *ast.SelectStmt) {
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+			// v := <-ch inside select: which arm ran is nondeterministic.
+			sel := wset{kindSelect: {kind: kindSelect, pos: s.Pos(), fset: w.fa.pkg.Fset,
+				chain: []string{shortName(w.fa.node.fn)}}}
+			for _, lhs := range as.Lhs {
+				w.store(lhs, sel)
+			}
+			for _, rhs := range as.Rhs {
+				w.expr(rhs)
+			}
+		} else {
+			w.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			w.stmt(st)
+		}
+	}
+}
+
+// expr computes the taint of an expression, with all side effects
+// (calls, closure bodies) applied.
+func (w *stmtWalker) expr(e ast.Expr) wset {
+	if e == nil {
+		return wset{}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.fa.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = w.fa.pkg.Info.Defs[e]
+		}
+		out := wset{}
+		if ts := w.fa.env[obj]; ts != nil {
+			out.union(ts)
+		}
+		if obj != nil {
+			if key := objKey(w.fa.pkg.Fset, obj); key != "" {
+				if g := w.fa.eng.globalTaint[key]; g != nil {
+					out.union(g)
+				}
+			}
+		}
+		return out
+	case *ast.SelectorExpr:
+		out := wset{}
+		if sel, ok := w.fa.pkg.Info.Selections[e]; ok {
+			if sel.Kind() == types.FieldVal {
+				obj := sel.Obj()
+				if ts := w.fa.env[obj]; ts != nil {
+					out.union(ts)
+				}
+				if key := objKey(w.fa.pkg.Fset, obj); key != "" {
+					if g := w.fa.eng.globalTaint[key]; g != nil {
+						out.union(g)
+					}
+				}
+			}
+			out.union(w.expr(e.X))
+			return out
+		}
+		// Qualified identifier pkg.Var / pkg.Func.
+		if obj := w.fa.pkg.Info.Uses[e.Sel]; obj != nil {
+			if key := objKey(w.fa.pkg.Fset, obj); key != "" {
+				if g := w.fa.eng.globalTaint[key]; g != nil {
+					out.union(g)
+				}
+			}
+		}
+		return out
+	case *ast.CallExpr:
+		rets := w.call(e)
+		out := wset{}
+		for _, ts := range rets {
+			out.union(ts)
+		}
+		return out
+	case *ast.BinaryExpr:
+		out := w.expr(e.X).clone()
+		out.union(w.expr(e.Y))
+		return out
+	case *ast.UnaryExpr:
+		return w.expr(e.X)
+	case *ast.StarExpr:
+		return w.expr(e.X)
+	case *ast.ParenExpr:
+		return w.expr(e.X)
+	case *ast.IndexExpr:
+		out := w.expr(e.X).clone()
+		out.union(w.expr(e.Index))
+		return out
+	case *ast.IndexListExpr:
+		return w.expr(e.X)
+	case *ast.SliceExpr:
+		return w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X)
+	case *ast.CompositeLit:
+		out := wset{}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				out.union(w.expr(kv.Value))
+				continue
+			}
+			out.union(w.expr(el))
+		}
+		return out
+	case *ast.FuncLit:
+		// Closures are analyzed inline against the enclosing
+		// environment, so captured variables flow both ways. The lit's
+		// own returns are cached for calls through a bound variable.
+		w.funcLit(e)
+		return wset{}
+	}
+	return wset{}
+}
+
+// funcLit analyzes a closure body inline and records its return taints.
+func (w *stmtWalker) funcLit(lit *ast.FuncLit) []wset {
+	if cached, ok := w.fa.litRets[lit]; ok {
+		// Already walked this iteration? Walk again anyway only once per
+		// outer iteration to keep cost bounded.
+		return cached
+	}
+	sig, _ := w.fa.pkg.Info.Types[lit].Type.(*types.Signature)
+	nRets := 0
+	if sig != nil {
+		nRets = sig.Results().Len()
+	}
+	rets := make([]wset, nRets)
+	for j := range rets {
+		rets[j] = wset{}
+	}
+	w.fa.litRets[lit] = rets
+	inner := &stmtWalker{fa: w.fa, retTaint: rets, sig: sig}
+	inner.stmt(lit.Body)
+	if inner.changed {
+		w.changed = true
+	}
+	return rets
+}
+
+// sortStrip removes map-order taint from objects passed to a sort call:
+// the sorted-keys idiom launders iteration order by construction.
+func (w *stmtWalker) sortStrip(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := w.fa.pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if obj := rootObjOf(w.fa.pkg.Info, arg); obj != nil {
+			if ts := w.fa.env[obj]; ts != nil {
+				delete(ts, kindMapOrder)
+			}
+		}
+	}
+	return true
+}
+
+// call evaluates a call expression: source intrinsics, summaries of known
+// callees, sink checks, and the default propagate-args-to-results rule
+// for everything unresolvable.
+func (w *stmtWalker) call(call *ast.CallExpr) []wset {
+	info := w.fa.pkg.Info
+
+	// Conversions: T(x) keeps x's taint; uintptr(unsafe.Pointer) makes a
+	// pointer value printable and is itself a source.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		ts := w.expr(call.Args[0]).clone()
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+			if atv, ok := info.Types[call.Args[0]]; ok {
+				if ab, ok := atv.Type.Underlying().(*types.Basic); ok && ab.Kind() == types.UnsafePointer {
+					ts.add(witness{kind: kindPtrFormat, pos: call.Pos(), fset: w.fa.pkg.Fset,
+						chain: []string{shortName(w.fa.node.fn)}})
+				}
+			}
+		}
+		return []wset{ts}
+	}
+
+	if w.sortStrip(call) {
+		for _, a := range call.Args {
+			w.expr(a)
+		}
+		return []wset{{}}
+	}
+
+	// Evaluate arguments (and the receiver, if any) up front.
+	argTaint := make([]wset, 0, len(call.Args)+1)
+	var recvTaint wset
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvTaint = w.expr(sel.X)
+		}
+	}
+	for _, a := range call.Args {
+		argTaint = append(argTaint, w.expr(a))
+	}
+
+	fn := staticCallee(info, call)
+	key := funcID(fn)
+
+	// Source intrinsics.
+	if kind := sourceKindFor(fn); kind != "" {
+		src := wset{}
+		if recvTaint != nil {
+			src.union(recvTaint)
+		}
+		for _, ts := range argTaint {
+			src.union(ts)
+		}
+		src.add(witness{kind: kind, pos: call.Pos(), fset: w.fa.pkg.Fset,
+			chain: []string{shortName(w.fa.node.fn)}})
+		return []wset{src}
+	}
+
+	// %p laundering through fmt.
+	ptrFmt := false
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		for _, a := range call.Args {
+			if lit, ok := ast.Unparen(a).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil && strings.Contains(s, "%p") {
+					ptrFmt = true
+				}
+			}
+		}
+	}
+
+	// Full parameter list as the callee sees it: receiver first.
+	fullArgs := argTaint
+	if recvTaint != nil {
+		fullArgs = append([]wset{recvTaint}, argTaint...)
+	}
+
+	// Sink check: only payload positions count (see sinkSpec).
+	if spec, isSink := sinkFuncs[key]; isSink {
+		inputs := argTaint
+		if spec.recv && recvTaint != nil {
+			inputs = fullArgs
+		}
+		for _, ts := range inputs {
+			w.hitSink(spec.label, call.Pos(), ts, nil)
+		}
+	}
+
+	// Known callee with a body: apply its summary.
+	if node, ok := w.fa.eng.fns[key]; ok && node.sum != nil {
+		return w.applySummary(node, call, fullArgs)
+	}
+
+	// Local closure called through a variable, or an immediate call of a
+	// FuncLit.
+	if lit := w.calleeLit(call); lit != nil {
+		rets := w.funcLit(lit)
+		out := make([]wset, len(rets))
+		for j := range rets {
+			out[j] = rets[j].clone()
+		}
+		return out
+	}
+
+	// Unknown callee (stdlib without a summary, interface method, func
+	// value): conservatively propagate every input to every output.
+	out := wset{}
+	if recvTaint != nil {
+		out.union(recvTaint)
+	}
+	for _, ts := range argTaint {
+		out.union(ts)
+	}
+	if ptrFmt {
+		out.add(witness{kind: kindPtrFormat, pos: call.Pos(), fset: w.fa.pkg.Fset,
+			chain: []string{shortName(w.fa.node.fn)}})
+	}
+	n := 1
+	if tv, ok := info.Types[call]; ok {
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			n = tuple.Len()
+		}
+	}
+	rets := make([]wset, n)
+	for j := range rets {
+		rets[j] = out
+	}
+	return rets
+}
+
+// calleeLit resolves a call through a locally bound closure variable or an
+// immediately invoked FuncLit.
+func (w *stmtWalker) calleeLit(call *ast.CallExpr) *ast.FuncLit {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun
+	case *ast.Ident:
+		if obj := w.fa.pkg.Info.Uses[fun]; obj != nil {
+			return w.fa.closures[obj]
+		}
+	}
+	return nil
+}
+
+// applySummary folds a callee's summary into this call site.
+func (w *stmtWalker) applySummary(callee *fnNode, call *ast.CallExpr, fullArgs []wset) []wset {
+	sum := callee.sum
+	rets := make([]wset, sum.nRets)
+	for j := range rets {
+		rets[j] = wset{}
+		for _, src := range sum.retSource[j] {
+			rets[j].add(src)
+		}
+	}
+	feed := func(i int, ts wset) {
+		if len(ts) == 0 {
+			return
+		}
+		// Param flows to results.
+		for j := 0; j < sum.nRets; j++ {
+			if chain := sum.paramRet[i][j]; chain != nil {
+				links := append(append([]string{}, chain...), shortName(callee.fn))
+				for _, wit := range ts {
+					rets[j].add(wit.withChain(links...))
+				}
+			}
+		}
+		// Param flows to a sink inside the callee.
+		for _, hit := range sum.paramSink[i] {
+			for _, wit := range ts {
+				w.hitSink(hit.sink, hit.pos, wset{wit.kind: wit}, append([]string{}, hit.chain...))
+			}
+		}
+	}
+	for i := 0; i < sum.nParams && i < len(fullArgs); i++ {
+		feed(i, fullArgs[i])
+	}
+	// Extra args beyond the summary's params fold into the last
+	// (variadic) parameter.
+	if len(fullArgs) > sum.nParams && sum.nParams > 0 {
+		for _, ts := range fullArgs[sum.nParams:] {
+			feed(sum.nParams-1, ts)
+		}
+	}
+	return rets
+}
+
+// hitSink records taint arriving at a sink: parameter taint feeds the
+// summary, real taint becomes a finding (reporting pass only). extraChain
+// is the path from the current function into the sink for hits forwarded
+// out of callee summaries (nil for direct sink calls).
+func (w *stmtWalker) hitSink(label string, pos token.Pos, ts wset, extraChain []string) {
+	for kind, wit := range ts {
+		if i, isParam := paramIndex(kind); isParam {
+			w.fa.sum.addParamSink(i, sinkHit{
+				sink:  label,
+				pos:   pos,
+				pkgIx: w.sinkPkgIx(pos),
+				chain: joinChain(wit.chain, []string{shortName(w.fa.node.fn)}, extraChain),
+			})
+			continue
+		}
+		if !w.fa.report {
+			continue
+		}
+		srcPos := wit.fset.Position(wit.pos)
+		dedup := fmt.Sprintf("%s|%v|%s|%s", label, pos, kind, srcPos)
+		if _, seen := w.fa.eng.findings[dedup]; seen {
+			continue
+		}
+		w.fa.eng.findings[dedup] = engineFinding{
+			pos:    pos,
+			pkgIx:  w.sinkPkgIx(pos),
+			kind:   kind,
+			srcPos: srcPos,
+			sink:   label,
+			chain:  joinChain(wit.chain, []string{shortName(w.fa.node.fn)}, extraChain),
+		}
+	}
+}
+
+// joinChain concatenates chain segments, dropping consecutive duplicates.
+func joinChain(segs ...[]string) []string {
+	var out []string
+	for _, seg := range segs {
+		for _, s := range seg {
+			if len(out) == 0 || out[len(out)-1] != s {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// sinkPkgIx maps a sink position to the package whose fileset knows it.
+// Positions forwarded from callee summaries belong to the callee's
+// package; since Load shares one FileSet across packages, resolving
+// through the current package is correct there, and hits recorded during
+// a callee's own summary already carry its pkgIx through the summary.
+func (w *stmtWalker) sinkPkgIx(pos token.Pos) int {
+	for ix, pkg := range w.fa.eng.pkgs {
+		for _, f := range pkg.Files {
+			if f.Pos() <= pos && pos <= f.End() {
+				return ix
+			}
+		}
+	}
+	return w.fa.node.pkgIx
+}
+
+// sourceKindFor classifies a resolved callee as a nondeterminism source.
+func sourceKindFor(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if kind, ok := sourceFuncs[funcID(fn)]; ok {
+		return kind
+	}
+	if kind, ok := sourcePkgs[fn.Pkg().Path()]; ok {
+		return kind
+	}
+	return ""
+}
+
+// rootObjOf resolves the variable or field at the base of an lvalue
+// expression (shared with the nondet analyzer's rootObject, but
+// Info-parameterized so the engine can use it for any package).
+func rootObjOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return rootObjOf(info, e.X)
+	case *ast.UnaryExpr:
+		return rootObjOf(info, e.X)
+	case *ast.StarExpr:
+		return rootObjOf(info, e.X)
+	case *ast.IndexExpr:
+		return rootObjOf(info, e.X)
+	case *ast.SliceExpr:
+		return rootObjOf(info, e.X)
+	}
+	return nil
+}

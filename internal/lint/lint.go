@@ -24,12 +24,22 @@
 //   - specleak:  client-visible effects (socket writes, output-log
 //     records, WAL appends) in internal/crane that bypass the speculation
 //     gate buffer
+//   - detflow:   interprocedural taint tracking from nondeterminism
+//     sources (time, rand, env, map order, select, pointer formatting,
+//     unseeded hashing) to determinism sinks (seq wire, DMT schedule,
+//     speculation gate, WAL payloads, output log); rides the shared
+//     summary engine in engine.go
+//   - atomicmix: words accessed both through sync/atomic and with plain
+//     loads/stores — the lock-free mirror discipline, checked suite-wide
 //
 // Suppression: a finding may be deliberately accepted with a
 // "//crane:<analyzer>-ok <reason>" comment on the flagged line, the line
 // above it, or the declaration line of the object the finding is about
-// (so annotating a field declaration covers every use of that field). The
-// reason is mandatory.
+// (so annotating a field declaration covers every use of that field).
+// A suppression on a declaration also covers findings inside closures
+// declared within that declaration's span, so annotating a harness
+// helper covers the measurement closure it returns. The reason is
+// mandatory.
 //
 // Replication scope: a package is "replicated" — and subject to nondet —
 // if its import path is under crane/internal/apps, or any of its files
@@ -48,9 +58,12 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check. Exactly one of Run and RunSuite is set:
-// Run analyzes a single package; RunSuite analyzes the whole loaded
-// universe at once (needed for inter-package lock-order analysis).
+// Analyzer is one named check. Exactly one of Run, RunSuite, and
+// RunEngine is set: Run analyzes a single package; RunSuite analyzes the
+// whole loaded universe at once (needed for inter-package lock-order and
+// atomic-mix analysis); RunEngine additionally receives the shared
+// interprocedural taint engine (see engine.go), built once per
+// RunAnalyzers invocation however many analyzers ride it.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -58,6 +71,9 @@ type Analyzer struct {
 	// RunSuite receives every loaded package; diagnostics are reported
 	// through any one of the passes (they share a collector).
 	RunSuite func([]*Pass)
+	// RunEngine receives the shared interprocedural engine plus the
+	// per-package passes, in the same order as the loaded packages.
+	RunEngine func(*Engine, []*Pass)
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -102,6 +118,19 @@ func (p *Pass) ReportObj(pos token.Pos, obj types.Object, format string, args ..
 		rel = obj.Pos()
 	}
 	p.reportRelated(pos, rel, format, args...)
+}
+
+// reportRelatedPosition records a finding whose suppression anchor is an
+// already-resolved position — used by engine-based analyzers whose source
+// witness may live in another package than the sink (annotating the
+// source line silences every finding it fans out to).
+func (p *Pass) reportRelatedPosition(pos token.Pos, rel token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		related:  rel,
+	})
 }
 
 func (p *Pass) reportRelated(pos, rel token.Pos, format string, args ...any) {
@@ -183,10 +212,90 @@ func replicated(path string, files []*ast.File) bool {
 	return false
 }
 
+// closureSpan is the source span of a function literal declared inside a
+// top-level declaration: a suppression comment on the declaration's line
+// (or the line above it) also covers findings inside these closures. This
+// is what lets one annotation on a harness helper cover the measurement
+// closure it returns, instead of re-annotating every line of the closure
+// body.
+type closureSpan struct {
+	file     string
+	declLine int // line of the annotated declaration
+	from, to int // closure body line range, inclusive
+}
+
+func collectClosureSpans(fset *token.FileSet, files []*ast.File) []closureSpan {
+	var spans []closureSpan
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			declLine := fset.Position(decl.Pos()).Line
+			ast.Inspect(decl, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				start := fset.Position(lit.Pos())
+				end := fset.Position(lit.End())
+				spans = append(spans, closureSpan{
+					file:     start.Filename,
+					declLine: declLine,
+					from:     start.Line,
+					to:       end.Line,
+				})
+				return true
+			})
+		}
+	}
+	return spans
+}
+
+// coversClosure reports whether pos falls inside a closure whose
+// enclosing declaration carries a suppression for analyzer.
+func coversClosure(sup suppressions, spans []closureSpan, analyzer string, pos token.Position) bool {
+	for _, s := range spans {
+		if s.file != pos.Filename || pos.Line < s.from || pos.Line > s.to {
+			continue
+		}
+		lines := sup[s.file]
+		if lines == nil {
+			continue
+		}
+		for _, l := range []int{s.declLine, s.declLine - 1} {
+			if strings.Contains(lines[l], analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Analyzers is the cranevet suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer,
-		ObsRegAnalyzer, LaneConsistencyAnalyzer, SpecLeakAnalyzer}
+		ObsRegAnalyzer, LaneConsistencyAnalyzer, SpecLeakAnalyzer,
+		DetflowAnalyzer, AtomicMixAnalyzer}
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer,
+// message) — a total, position-first order, so repeated runs and CI
+// diffs are stable however the analyzers emitted them.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
 }
 
 // RunAnalyzers executes the given analyzers over the loaded packages and
@@ -194,10 +303,34 @@ func Analyzers() []*Analyzer {
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var all []Diagnostic
 	perPkgSup := make([]suppressions, len(pkgs))
+	var spans []closureSpan
 	for i, pkg := range pkgs {
 		perPkgSup[i] = collectSuppressions(pkg.Fset, pkg.Files, func(d Diagnostic) {
 			all = append(all, d)
 		})
+		spans = append(spans, collectClosureSpans(pkg.Fset, pkg.Files)...)
+	}
+	// Merge suppressions once: they are keyed by absolute filename, so
+	// cross-package application is safe.
+	sup := suppressions{}
+	for _, s := range perPkgSup {
+		for file, lines := range s {
+			if sup[file] == nil {
+				sup[file] = map[int]string{}
+			}
+			for l, names := range lines {
+				sup[file][l] += names
+			}
+		}
+	}
+	// The interprocedural engine is shared by every analyzer that rides
+	// it; build it once, lazily.
+	var eng *Engine
+	engine := func() *Engine {
+		if eng == nil {
+			eng = NewEngine(pkgs)
+		}
+		return eng
 	}
 	for _, a := range analyzers {
 		var diags []Diagnostic
@@ -213,26 +346,20 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				diags:      &diags,
 			}
 		}
-		if a.RunSuite != nil {
+		switch {
+		case a.RunEngine != nil:
+			a.RunEngine(engine(), passes)
+		case a.RunSuite != nil:
 			a.RunSuite(passes)
-		} else {
+		default:
 			for _, p := range passes {
 				a.Run(p)
 			}
 		}
-		// Apply suppressions: the flagged line, the line above, or the
-		// declaration line of the related object.
-		sup := suppressions{}
-		for _, s := range perPkgSup {
-			for file, lines := range s {
-				if sup[file] == nil {
-					sup[file] = map[int]string{}
-				}
-				for l, names := range lines {
-					sup[file][l] += names
-				}
-			}
-		}
+		// Apply suppressions: the flagged line, the line above, the
+		// declaration line of the related object, or — for findings
+		// inside a closure — the line of the declaration the closure
+		// lives in.
 		for _, d := range diags {
 			if sup.covers(d.Analyzer, d.Pos) {
 				continue
@@ -240,21 +367,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if d.related.IsValid() && sup.covers(d.Analyzer, d.related) {
 				continue
 			}
+			if coversClosure(sup, spans, d.Analyzer, d.Pos) {
+				continue
+			}
 			all = append(all, d)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Pos, all[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return all[i].Message < all[j].Message
-	})
+	SortDiagnostics(all)
 	return all
 }

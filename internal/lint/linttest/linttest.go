@@ -34,33 +34,53 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
+	check(t, []*lint.Package{pkg}, analyzers)
+}
 
+// RunDirs loads several testdata directories — dependencies first, each
+// under its real module import path so they can import each other — as
+// one universe, and checks analyzers against the want comments of every
+// package. This is the harness for cross-package fixtures (source in one
+// package, launderer in another, sink in a third).
+func RunDirs(t *testing.T, dirs, importPaths []string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.LoadDirs(dirs, importPaths)
+	if err != nil {
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	check(t, pkgs, analyzers)
+}
+
+func check(t *testing.T, pkgs []*lint.Package, analyzers []*lint.Analyzer) {
+	t.Helper()
 	wants := map[wantKey][]*regexp.Regexp{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := wantKey{pos.Filename, pos.Line}
-				for _, q := range quotedRe.FindAllString(m[1], -1) {
-					pattern, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pattern)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					pos := pkg.Fset.Position(c.Pos())
+					key := wantKey{pos.Filename, pos.Line}
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						wants[key] = append(wants[key], re)
 					}
-					wants[key] = append(wants[key], re)
 				}
 			}
 		}
 	}
 
-	diags := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	diags := lint.RunAnalyzers(pkgs, analyzers)
 
 	matched := map[wantKey][]bool{}
 	for key := range wants {

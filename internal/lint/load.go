@@ -96,6 +96,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, goFile
 		Defs:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(path, fset, files, info)
@@ -142,31 +143,91 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
-// LoadDir type-checks the single package rooted at dir (used for testdata
-// packages, which `go list` does not enumerate). Imports — standard
-// library or module-internal — are resolved through export data built by
-// one `go list` invocation for exactly the imports the files declare.
-func LoadDir(dir string) (*Package, error) {
+// chainedImporter resolves imports from source-loaded packages first,
+// then falls back to gc export data. Multi-package testdata fixtures need
+// this: when package c imports package b which the harness also loaded
+// from source, c must see b's *source-checked* types so the engine's call
+// graph has b's bodies.
+type chainedImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (ci *chainedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.loaded[path]; ok {
+		return p, nil
+	}
+	return ci.fallback.Import(path)
+}
+
+// LoadDirs type-checks several testdata directories as one universe, in
+// the given order (dependencies first). Each dir is checked under its
+// real module import path (so `go list` can produce export data for any
+// externally imported package), and earlier packages resolve as source
+// for later ones. All packages share one FileSet.
+func LoadDirs(dirs []string, importPaths []string) ([]*Package, error) {
+	if len(dirs) != len(importPaths) {
+		return nil, fmt.Errorf("lint: LoadDirs: %d dirs but %d import paths", len(dirs), len(importPaths))
+	}
+	fset := token.NewFileSet()
+	loaded := map[string]*types.Package{}
+	var out []*Package
+	for i, dir := range dirs {
+		goFiles, importSet, err := scanDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		exports := map[string]string{}
+		var external []string
+		for p := range importSet {
+			if _, ok := loaded[p]; !ok {
+				external = append(external, p)
+			}
+		}
+		if len(external) > 0 {
+			sort.Strings(external)
+			listed, err := goList(dir, external)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+		imp := &chainedImporter{loaded: loaded, fallback: exportImporter(fset, exports)}
+		pkg, err := typeCheck(fset, imp, importPaths[i], dir, goFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", importPaths[i], err)
+		}
+		loaded[importPaths[i]] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// scanDir lists the non-test .go files of dir and the union of their
+// imports.
+func scanDir(dir string) (goFiles []string, importSet map[string]bool, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var goFiles []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
 			goFiles = append(goFiles, e.Name())
 		}
 	}
 	if len(goFiles) == 0 {
-		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+		return nil, nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
-	// Pre-parse to collect the import set.
 	pfset := token.NewFileSet()
-	importSet := map[string]bool{}
+	importSet = map[string]bool{}
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(pfset, filepath.Join(dir, name), nil, parser.ImportsOnly)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, imp := range f.Imports {
 			p, err := strconv.Unquote(imp.Path.Value)
@@ -174,6 +235,18 @@ func LoadDir(dir string) (*Package, error) {
 				importSet[p] = true
 			}
 		}
+	}
+	return goFiles, importSet, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (used for testdata
+// packages, which `go list` does not enumerate). Imports — standard
+// library or module-internal — are resolved through export data built by
+// one `go list` invocation for exactly the imports the files declare.
+func LoadDir(dir string) (*Package, error) {
+	goFiles, importSet, err := scanDir(dir)
+	if err != nil {
+		return nil, err
 	}
 	exports := map[string]string{}
 	if len(importSet) > 0 {

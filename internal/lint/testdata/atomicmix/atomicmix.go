@@ -1,0 +1,53 @@
+// Package atomicmix exercises the atomicmix analyzer: words accessed
+// both through sync/atomic and with plain loads/stores break the
+// lock-free mirror discipline.
+package atomicmix
+
+import "sync/atomic"
+
+// stats is the mirror-discipline struct under test.
+type stats struct {
+	clock uint64
+	ticks uint64
+	clean uint64
+
+	//crane:atomicmix-ok snapshot read at quiescent point, writers parked
+	lazy uint64
+}
+
+// Bump publishes clock atomically on the hot path.
+func (s *stats) Bump() { atomic.AddUint64(&s.clock, 1) }
+
+// ReadClock observes clock with a plain load: missing acquire.
+func (s *stats) ReadClock() uint64 {
+	return s.clock // want `s\.clock is published with sync/atomic but observed here with a plain read \(missing acquire\)`
+}
+
+// SetTicks publishes ticks atomically.
+func (s *stats) SetTicks(v uint64) { atomic.StoreUint64(&s.ticks, v) }
+
+// ResetTicks writes ticks plainly: missing release.
+func (s *stats) ResetTicks() {
+	s.ticks = 0 // want `s\.ticks is accessed with sync/atomic elsewhere but published here with a plain write \(missing release\)`
+}
+
+// Clean keeps every access atomic: silent.
+func (s *stats) Clean() uint64 { return atomic.LoadUint64(&s.clean) }
+
+// AddClean stays atomic too.
+func (s *stats) AddClean() { atomic.AddUint64(&s.clean, 1) }
+
+// Lazy reads the annotated field plainly; the field-declaration
+// suppression covers every use.
+func (s *stats) Lazy() uint64 {
+	atomic.StoreUint64(&s.lazy, 1)
+	return s.lazy
+}
+
+// newStats is constructor-exempt: plain stores before the value escapes
+// have no concurrent observer.
+func newStats() *stats {
+	s := &stats{}
+	s.clock = 0
+	return s
+}

@@ -1,0 +1,9 @@
+// Package a holds the nondeterminism source, two packages away from any
+// sink and outside the replicated scope — the nondet pattern matcher
+// never even analyzes it.
+package a
+
+import "time"
+
+// Stamp returns the local wall-clock reading.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,12 @@
+// Package b launders the timestamp through formatting: after this hop
+// the value is a plain string with no textual tie to package time.
+package b
+
+import (
+	"fmt"
+
+	"crane/internal/lint/testdata/detflowx/a"
+)
+
+// Tag renders the stamp into a request label.
+func Tag() string { return fmt.Sprintf("req-%d", a.Stamp()) }

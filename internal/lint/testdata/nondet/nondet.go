@@ -47,9 +47,9 @@ func (s *Server) background() {}
 
 // Timestamps reads physical time three ways.
 func Timestamps() time.Duration {
-	t0 := time.Now() // want `time\.Now reads physical time, which diverges across replicas; use papi\.T\.Now`
+	t0 := time.Now()               // want `time\.Now reads physical time, which diverges across replicas; use papi\.T\.Now`
 	<-time.After(time.Millisecond) // want `time\.After reads physical time`
-	return time.Since(t0) // want `time\.Since reads physical time`
+	return time.Since(t0)          // want `time\.Since reads physical time`
 }
 
 // SuppressedTime is a deliberate, annotated escape.

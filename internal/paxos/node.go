@@ -246,7 +246,7 @@ func NewNode(cfg Config) (*Node, error) {
 		done:    make(chan struct{}),
 		primary: cfg.InitialPrimary,
 		acks:    make(map[uint64]map[int]bool),
-		lastHB:  time.Now(),
+		lastHB:  time.Now(), //crane:detflow-ok heartbeat timer, below the consensus boundary
 	}
 	n.flusher, _ = cfg.Transport.(Flusher)
 	if cfg.Obs != nil {
@@ -273,7 +273,7 @@ func NewNode(cfg Config) (*Node, error) {
 	// Randomize the election timeout per node to break candidate ties;
 	// re-randomized on every retry so near-identical draws cannot keep
 	// two candidates colliding round after round.
-	n.electRng = rand.New(rand.NewSource(int64(cfg.ID)*7919 + 42))
+	n.electRng = rand.New(rand.NewSource(int64(cfg.ID)*7919 + 42)) //crane:detflow-ok election jitter is intentionally per-replica; consensus agrees on the outcome
 	n.electDelay = cfg.ElectionTimeout +
 		time.Duration(n.electRng.Int63n(int64(cfg.ElectionTimeout)+1))
 	if err := n.recover(); err != nil {
@@ -470,6 +470,7 @@ func (n *Node) loop() {
 		}
 	}
 	for {
+		//crane:detflow-ok event-loop arm order is below consensus; decided order is what replicas see
 		select {
 		case <-n.done:
 			n.cfg.Transport.Close()
@@ -603,7 +604,7 @@ func (n *Node) resetBatcher() {
 }
 
 func (n *Node) handleTick() {
-	now := time.Now()
+	now := time.Now() //crane:detflow-ok tick clock drives timers below the consensus boundary
 	if n.status == StatusNormal && n.primary == n.cfg.ID {
 		// Safety net: refill the pipeline window in case a freeing commit
 		// arrived without triggering a send (e.g. after a view change).
@@ -639,7 +640,7 @@ func (n *Node) startElection() {
 	n.resetBatcher()
 	n.promises = map[int]*Message{}
 	n.primaryAcks = map[int]bool{}
-	n.electionStart = time.Now()
+	n.electionStart = time.Now() //crane:detflow-ok election timer, below the consensus boundary
 	// Self-promise.
 	n.promised = next
 	n.promises[n.cfg.ID] = &Message{
@@ -692,7 +693,7 @@ func (n *Node) onAccept(msg Message) {
 		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
 		return
 	}
-	n.lastHB = time.Now()
+	n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
 	if len(msg.Entries) > 0 {
 		n.onAcceptBatch(msg)
 		return
@@ -867,10 +868,10 @@ func (n *Node) onHeartbeat(msg Message) {
 	if msg.View > n.view {
 		// We are behind; adopt after fetching state.
 		n.send(msg.From, Message{Type: MsgRequestEntries, Index: n.lastLogIndex() + 1})
-		n.lastHB = time.Now()
+		n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
 		return
 	}
-	n.lastHB = time.Now()
+	n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
 	if n.status == StatusViewChange && msg.From == n.primary {
 		// Primary is alive after all (e.g. transient network blip during
 		// our election attempt): return to normal.
@@ -917,6 +918,7 @@ func (n *Node) maybeWinPhase1() {
 	// Merge logs: committed prefix = max commit; uncommitted suffix from
 	// the promise with the highest (LastNorm, length).
 	var bestCommit uint64
+	//crane:detflow-ok max reduction over promises is iteration-order-insensitive
 	for _, p := range n.promises {
 		if p.CommitIdx > bestCommit {
 			bestCommit = p.CommitIdx
@@ -1034,7 +1036,7 @@ func (n *Node) onNewPrimary(msg Message) {
 		return
 	}
 	n.installNewView(msg.View, msg.Primary, msg.CommitIdx, msg.Entries)
-	n.lastHB = time.Now()
+	n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
 }
 
 // installNewView adopts view/primary and reconciles the log: entries above
@@ -1107,7 +1109,7 @@ func (n *Node) onEntries(msg Message) {
 		// Adopt the newer view along with its entries.
 		n.installNewView(msg.View, msg.Primary, 0, nil)
 	}
-	n.lastHB = time.Now()
+	n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
 	appendedUncommitted := false
 	for _, e := range msg.Entries {
 		if e.Index == n.lastLogIndex()+1 {

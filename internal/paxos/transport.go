@@ -60,7 +60,7 @@ func NewChanHub(latency, jitter time.Duration, loss float64, seed int64) *ChanHu
 		latency: latency,
 		jitter:  jitter,
 		loss:    loss,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(rand.NewSource(seed)), //crane:detflow-ok deterministically seeded by the caller
 	}
 }
 

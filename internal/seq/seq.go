@@ -242,7 +242,7 @@ type Sequence struct {
 
 // New creates an empty sequence.
 func New() *Sequence {
-	return &Sequence{lastDrain: time.Now()}
+	return &Sequence{lastDrain: time.Now()} //crane:detflow-ok drain-interval stat, never marshaled onto the wire
 }
 
 // SetObs registers the sequence's instruments into reg: the queue-wait
@@ -304,7 +304,7 @@ func (s *Sequence) SetConsumedHook(fn func(e *Entry)) {
 func (s *Sequence) Enqueue(e *Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e.enqueuedAt = time.Now()
+	e.enqueuedAt = time.Now() //crane:detflow-ok queue-wait histogram stamp, not serialized by Entry.marshal
 	s.entries = append(s.entries, e)
 	s.enqueued++
 	s.payloadBytes += uint64(len(e.Data)) + 16 // payload + entry framing

@@ -66,7 +66,7 @@ func New(opts Options) *Network {
 	}
 	return &Network{
 		opts:      opts,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(rand.NewSource(seed)), //crane:detflow-ok deterministically seeded sim jitter
 		listeners: make(map[Addr]*Listener),
 		parts:     make(map[[2]string]bool),
 	}

@@ -139,7 +139,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.segments = append(l.segments, seg)
 	}
 	for _, seg := range l.segments {
-		for idx := range seg.offsets {
+		for idx := range seg.offsets { //crane:detflow-ok min/max reduction is iteration-order-insensitive
 			if l.empty || idx < l.first {
 				l.first = idx
 			}

@@ -1,8 +1,9 @@
 // Tier-1 smoke test for the cranevet suite: the repository must stay
 // clean under its own analyzers. A new raw `go`, sync primitive, time
-// read, or dropped durability error anywhere in the tree fails `go test
-// ./...` the same way it fails the dedicated CI step, so the papi
-// discipline cannot regress between lint runs.
+// read, dropped durability error, laundered nondeterministic value
+// (detflow), or atomic/plain access mix (atomicmix) anywhere in the tree
+// fails `go test ./...` the same way it fails the dedicated CI step, so
+// the papi discipline cannot regress between lint runs.
 package crane_test
 
 import (
@@ -14,6 +15,17 @@ import (
 func TestCranevetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide type-check is not short")
+	}
+	// The interprocedural analyzers are the teeth of this smoke test;
+	// guard against the suite silently losing them.
+	names := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		names[a.Name] = true
+	}
+	for _, required := range []string{"nondet", "detflow", "atomicmix"} {
+		if !names[required] {
+			t.Fatalf("analyzer suite lost %q", required)
+		}
 	}
 	pkgs, err := lint.Load(".", []string{"./..."})
 	if err != nil {
