@@ -29,6 +29,7 @@ func main() {
 	mode := flag.String("mode", "crane", "mode: nondet, parrot-only, paxos-only, crane-nobubble, crane")
 	requests := flag.Int("requests", 16, "total workload requests")
 	conc := flag.Int("concurrency", 4, "concurrent clients (keep <= server workers)")
+	groups := flag.Int("groups", 1, "independent Paxos groups to shard the socket-call log across (1 = classic single log)")
 	metricsAddr := flag.String("metrics", "", "scrape endpoint base address (replica i serves on port+i; empty disables)")
 	hold := flag.Duration("hold", 0, "keep the cluster alive this long after the workload (for curling /metrics)")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 	}
 	scale := bench.Scale{Requests: *requests, Concurrency: *conc, PrepareRows: 30}
 	cfg := bench.ClusterConfig(m)
+	cfg.Groups = *groups
 	if *metricsAddr != "" {
 		cfg.MetricsAddr = *metricsAddr
 		cfg.TraceCapacity = 1 << 16

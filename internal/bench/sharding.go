@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"crane/internal/paxos"
+)
+
+// ShardCell is one group-count cell of the sharding sweep: N independent
+// 3-node Paxos groups driven flat out over a latency-injected hub, with
+// committed-entries-per-second as the headline and the speedup over the
+// single-group baseline as the acceptance number (ISSUE 10).
+type ShardCell struct {
+	Groups    int   `json:"groups"`
+	Entries   int   `json:"entries"`
+	ElapsedNs int64 `json:"elapsed_ns"`
+
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+
+	// GroupCommits is each group's commit index at the end of the run —
+	// evidence the load actually spread instead of one group carrying it.
+	GroupCommits []uint64 `json:"group_commits"`
+}
+
+const (
+	// shardHubLatency makes the Accept-round RTT the bottleneck: with a
+	// narrow pipeline window (shardMaxInflight batches of shardMaxBatch
+	// entries per ~2*latency), a single group tops out near
+	// inflight*batch/RTT entries/sec regardless of CPU count, so adding
+	// groups multiplies the number of independent pipeline windows — the
+	// scaling the shard exists to buy. On a zero-latency hub the cells
+	// would instead measure CPU contention on the bench host.
+	shardHubLatency  = 250 * time.Microsecond
+	shardHubJitter   = 25 * time.Microsecond
+	shardMaxBatch    = 8
+	shardMaxInflight = 2
+	shardBurst       = 8 // entries per ProposeBatch call
+)
+
+// ShardingSweep measures consensus throughput at 1, 2, and 4 groups over
+// identical total work, reporting the speedup each extra group buys. It
+// drives the paxos layer directly (GroupMux over a shared per-replica
+// endpoint, exactly the sharded cluster's transport shape) rather than the
+// full server stack, so the cells isolate the consensus pipeline the
+// tentpole shards instead of DMT scheduling.
+func ShardingSweep(s Scale, w io.Writer) ([]ShardCell, error) {
+	// Constant total work across cells; scaled so the single-group cell
+	// runs a few hundred milliseconds at the pipeline's ~26k entries/sec.
+	total := 256 * s.Requests
+	var cells []ShardCell
+	for _, groups := range []int{1, 2, 4} {
+		cell, err := runShardCell(groups, total)
+		if err != nil {
+			return cells, err
+		}
+		if len(cells) > 0 && cells[0].EntriesPerSec > 0 {
+			cell.SpeedupVs1 = cell.EntriesPerSec / cells[0].EntriesPerSec
+		} else {
+			cell.SpeedupVs1 = 1
+		}
+		cells = append(cells, cell)
+		if w != nil {
+			fmt.Fprintf(w, "Sharding groups=%d entries=%-6d elapsed=%-10v throughput=%-9.0f entries/s speedup=%.2fx\n",
+				cell.Groups, cell.Entries,
+				time.Duration(cell.ElapsedNs).Round(time.Millisecond),
+				cell.EntriesPerSec, cell.SpeedupVs1)
+		}
+	}
+	return cells, nil
+}
+
+func runShardCell(groups, total int) (ShardCell, error) {
+	const replicas = 3
+	hub := paxos.NewChanHub(shardHubLatency, shardHubJitter, 0, 1)
+	defer hub.Close()
+	peers := []int{0, 1, 2}
+
+	// One shared hub endpoint per replica, demultiplexed per group — the
+	// sharded cluster's transport shape. The single-group cell keeps the
+	// mux too, so the cells differ only in group count, not in framing.
+	muxes := make([]*paxos.GroupMux, replicas)
+	for i := range muxes {
+		muxes[i] = paxos.NewGroupMux(hub.Endpoint(i))
+	}
+	nodes := make([][]*paxos.Node, groups)
+	for g := 0; g < groups; g++ {
+		for i := 0; i < replicas; i++ {
+			nd, err := paxos.NewNode(paxos.Config{
+				ID: i, Peers: peers,
+				Transport: muxes[i].Port(g),
+				// Wide election timeout: a spurious mid-run re-election
+				// discards accepted-but-uncommitted proposals and strands
+				// the commit-index wait below, and the flood is exactly the
+				// load that delays heartbeats. Elections only matter at
+				// startup here, which the timed window excludes.
+				HeartbeatInterval: 25 * time.Millisecond,
+				ElectionTimeout:   300 * time.Millisecond,
+				MaxBatch:          shardMaxBatch,
+				MaxInflight:       shardMaxInflight,
+			})
+			if err != nil {
+				return ShardCell{}, fmt.Errorf("bench: sharding: %w", err)
+			}
+			nodes[g] = append(nodes[g], nd)
+		}
+	}
+	for g := range nodes {
+		for _, nd := range nodes[g] {
+			nd.Start()
+		}
+	}
+	defer func() {
+		for g := range nodes {
+			for _, nd := range nodes[g] {
+				nd.Stop()
+			}
+		}
+	}()
+
+	// Wait for every group to elect before the clock starts.
+	primaries := make([]*paxos.Node, groups)
+	electBy := time.Now().Add(5 * time.Second)
+	for g := 0; g < groups; g++ {
+		for primaries[g] == nil {
+			if time.Now().After(electBy) {
+				return ShardCell{}, fmt.Errorf("bench: sharding: group %d never elected", g)
+			}
+			for _, nd := range nodes[g] {
+				if nd.IsPrimary() {
+					primaries[g] = nd
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Split the work evenly and drive every group's primary concurrently
+	// in proposer-side bursts, then wait for the commit indexes to cover
+	// the full load.
+	share := make([]int, groups)
+	for i := 0; i < total; i++ {
+		share[i%groups]++
+	}
+	start := time.Now()
+	errs := make(chan error, groups)
+	for g := 0; g < groups; g++ {
+		g := g
+		go func() {
+			payload := []byte(fmt.Sprintf("shard-bench-g%d-00000000", g))
+			for sent := 0; sent < share[g]; {
+				n := shardBurst
+				if rem := share[g] - sent; rem < n {
+					n = rem
+				}
+				burst := make([][]byte, n)
+				for j := range burst {
+					burst[j] = payload
+				}
+				if err := primaries[g].ProposeBatch(burst); err != nil {
+					errs <- fmt.Errorf("bench: sharding: group %d propose: %w", g, err)
+					return
+				}
+				sent += n
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < groups; g++ {
+		if err := <-errs; err != nil {
+			return ShardCell{}, err
+		}
+	}
+	commitBy := time.Now().Add(60 * time.Second)
+	for g := 0; g < groups; g++ {
+		for primaries[g].CommitIndex() < uint64(share[g]) {
+			if time.Now().After(commitBy) {
+				detail := ""
+				for i, nd := range nodes[g] {
+					v, p := nd.View()
+					detail += fmt.Sprintf(" node%d{commit=%d view=%d prim=%d vc=%d}",
+						i, nd.CommitIndex(), v, p, nd.ViewChanges())
+				}
+				return ShardCell{}, fmt.Errorf("bench: sharding: group %d stuck at %d/%d:%s",
+					g, primaries[g].CommitIndex(), share[g], detail)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	elapsed := time.Since(start)
+
+	cell := ShardCell{
+		Groups:        groups,
+		Entries:       total,
+		ElapsedNs:     int64(elapsed),
+		EntriesPerSec: float64(total) / elapsed.Seconds(),
+		GroupCommits:  make([]uint64, groups),
+	}
+	for g := 0; g < groups; g++ {
+		cell.GroupCommits[g] = primaries[g].CommitIndex()
+	}
+	return cell, nil
+}

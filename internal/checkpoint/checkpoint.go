@@ -41,6 +41,18 @@ type Checkpoint struct {
 	Process []byte // CRIU stand-in: serialized process state
 	FSPatch cfs.Patch
 	Taken   time.Time
+	// GroupIndexes are the per-group consensus indexes at capture time
+	// when the deployment shards the log across Paxos groups (nil in
+	// single-group deployments, where Index alone anchors recovery; then
+	// Index doubles as group 0's index). Quiescence makes the vector
+	// consistent: no admitted input is in flight in any group while the
+	// capture runs.
+	GroupIndexes []uint64
+	// GroupWatermarks is the cross-group merge's watermark vector at
+	// capture time (sharded deployments only). A restored replica resumes
+	// its merge from this vector so post-restore stamp bumps replay
+	// exactly as the live replicas computed them.
+	GroupWatermarks []uint64
 }
 
 // Timings records the four cost components of Table 2.

@@ -33,6 +33,20 @@ type Config struct {
 	// operations.
 	Lanes int
 
+	// Groups shards the socket-call log across this many independent
+	// Paxos groups (default 1 — the single-log pipeline, bit for bit).
+	// Connections are routed to groups by rendezvous hashing on the
+	// connection id (overridable via papi.ConflictMap.ConnGroup); each
+	// group runs its own proposer/acceptor state, WAL, and burst
+	// submitter, so proposal throughput, fsync bandwidth, and
+	// Accept-round pipelining scale with the group count. Committed
+	// entries re-merge into one deterministic admission order through
+	// per-group watermark vectors carried on time bubbles (seq.Groups),
+	// so DMT admission stays globally deterministic. Forces Speculation
+	// off when > 1: the speculator feeds bursts in admission order,
+	// which the cross-group merge does not preserve.
+	Groups int
+
 	// Wtimeout is the empty-sequence duration after which the primary
 	// requests a time bubble (default 100µs, §7).
 	Wtimeout time.Duration
@@ -116,8 +130,19 @@ func (c *Config) setDefaults() {
 	if c.Lanes < 1 {
 		c.Lanes = 1
 	}
+	if c.Groups < 1 {
+		c.Groups = 1
+	}
 	if !c.Mode.replicated() {
 		c.Replicas = 1
+		c.Groups = 1
+	}
+	if c.Groups > 1 {
+		// The speculator consumes bursts in admission order; the
+		// cross-group merge emits in stamp order, which only coincides
+		// at one group. Sharded deployments trade speculation for
+		// group-parallel ordering.
+		c.Speculation = false
 	}
 	if c.Wtimeout <= 0 {
 		c.Wtimeout = 100 * time.Microsecond
@@ -386,6 +411,8 @@ func (c *Cluster) RestoreReplica(i int, ck *checkpoint.Checkpoint) error {
 	r := newReplica(i, &c.cfg, c.prog, c.net)
 	r.restoreState = ck.Process
 	r.deliverFrom = ck.Index
+	r.deliverFroms = ck.GroupIndexes
+	r.restoreWatermarks = ck.GroupWatermarks
 	// Hosts are stable, but the old listeners may still be bound if stop
 	// raced; give the network a moment.
 	peers := make([]int, c.cfg.Replicas)
@@ -451,11 +478,37 @@ func (c *Cluster) Analysis() *analysis.LockOrderChecker {
 // CompactTo compacts every live replica's consensus log below the given
 // checkpoint index (call after CheckpointBackup succeeds; replicas lagging
 // past the compaction point recover via RestoreReplica instead of
-// catch-up).
+// catch-up). Single-group form: sharded deployments anchor per-group
+// compaction through AnchorGC instead.
 func (c *Cluster) CompactTo(idx uint64) {
 	for _, r := range c.replicas {
 		if !r.killed() && r.node != nil {
 			r.node.CompactTo(idx)
+		}
+	}
+}
+
+// AnchorGC promises, on every live replica and for every Paxos group, that
+// entries at or below the checkpoint's per-group index will never be
+// replayed (the checkpoint supersedes them). Each group's primary computes
+// the cluster-wide minimum of these promises, trims its log, lets the WAL
+// drop whole segments below the floor (wal.CompactBefore), and announces
+// the floor to backups on heartbeats — the Done/Min GC protocol. A replica
+// that never promises (failed, partitioned) pins its groups' floors, so
+// compaction never outruns a peer that still needs catch-up.
+func (c *Cluster) AnchorGC(ck *checkpoint.Checkpoint) {
+	for _, r := range c.replicas {
+		if r.killed() {
+			continue
+		}
+		for g, nd := range r.nodes {
+			idx := ck.Index
+			if g < len(ck.GroupIndexes) {
+				idx = ck.GroupIndexes[g]
+			}
+			if idx > 0 {
+				nd.SetDone(idx)
+			}
 		}
 	}
 }

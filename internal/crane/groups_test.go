@@ -1,0 +1,293 @@
+package crane
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"crane/internal/papi"
+	"crane/internal/trace"
+)
+
+// groupsConfig is testConfig with the socket-call log sharded across n
+// Paxos groups.
+func groupsConfig(n int) Config {
+	cfg := testConfig(ModeCrane)
+	cfg.Groups = n
+	return cfg
+}
+
+// assertReplicaFingerprints checks every pair of live replicas for
+// byte-identical output logs AND equal output fingerprints — the
+// cross-replica identity every multi-group test must assert (the merge is
+// only correct if sharding is invisible to the committed execution).
+func assertReplicaFingerprints(t *testing.T, c *Cluster) {
+	t.Helper()
+	if divs := trace.DiffAll(c.OutputLogs()); len(divs) != 0 {
+		t.Fatalf("output divergence across replicas: %v", divs)
+	}
+	var fp uint64
+	first := true
+	for i := 0; i < c.Replicas(); i++ {
+		r := c.Replica(i)
+		if r.killed() {
+			continue
+		}
+		got := r.Outputs().Fingerprint()
+		if first {
+			fp, first = got, false
+		} else if got != fp {
+			t.Fatalf("replica %d output fingerprint %#x != %#x", i, got, fp)
+		}
+	}
+}
+
+// TestMultiGroupDeterminism runs the KV workload over a 2-group sharded
+// cluster: connections hash across both groups, commit in independent Paxos
+// logs, and must still execute in one replica-identical order.
+func TestMultiGroupDeterminism(t *testing.T) {
+	c, err := StartCluster(groupsConfig(2), newTestKV(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 12; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("mg:%d", i), fmt.Sprintf("SET k%d v%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d = %q", i, got)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("mg:g%d", i), fmt.Sprintf("GET k%d", i)); got != fmt.Sprintf("VALUE v%d", i) {
+			t.Fatalf("GET %d = %q", i, got)
+		}
+	}
+	if err := c.WaitQuiescent(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaFingerprints(t, c)
+	assertNoDivergenceAlarms(t, c)
+
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both groups must actually have carried traffic (24 distinct
+	// connections rendezvous-hash across 2 groups with overwhelming
+	// probability) and the merge must have emitted every CLIENT entry
+	// delivered — in steady state the newest bubble round's tail stays
+	// parked behind the other group, so total Delivered runs ahead of
+	// Emitted by that bubble padding.
+	gs := p.GroupStats()
+	if gs.Groups != 2 || gs.Emitted == 0 || gs.PendingClient != 0 {
+		t.Fatalf("merge stats %+v: want 2 groups, all delivered client entries emitted", gs)
+	}
+	if gs.Delivered != gs.Emitted+uint64(gs.Pending) {
+		t.Fatalf("merge stats %+v: delivered != emitted+pending", gs)
+	}
+	for g := 0; g < 2; g++ {
+		if idx := p.GroupNode(g).CommitIndex(); idx == 0 {
+			t.Fatalf("group %d never committed", g)
+		}
+	}
+	// Per-group observability: the sharded deployment renames each
+	// group's instruments (satellite: paxos_groupN_*, wal is exercised in
+	// the restart test — no WAL here).
+	var sb strings.Builder
+	if err := p.Obs().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		want := fmt.Sprintf("paxos_group%d_commits_total", g)
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("scrape output missing %s", want)
+		}
+	}
+}
+
+// TestEmptyGroupBubbleLiveness pins every connection to group 0, leaving
+// group 1 with no client traffic at all. The cross-group merge cannot emit
+// past an idle group until a bubble advances its watermark, so the workload
+// only completes if bubbles keep flowing into BOTH groups — the liveness
+// property the per-group bubble rounds exist for.
+func TestEmptyGroupBubbleLiveness(t *testing.T) {
+	prog := newTestKV(8)
+	prog.Conflict = &papi.ConflictMap{
+		// Replica-consistent override: everything to group 0; group 1
+		// stays empty except for time bubbles.
+		ConnGroup: func(connID uint64, groups int) int { return 0 },
+	}
+	c, err := StartCluster(groupsConfig(2), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 8; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("eg:%d", i), fmt.Sprintf("SET e%d w%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d = %q", i, got)
+		}
+	}
+	if got := kvRequest(t, c, "eg:check", "GET e3"); got != "VALUE w3" {
+		t.Fatalf("GET = %q", got)
+	}
+	if err := c.WaitQuiescent(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaFingerprints(t, c)
+	assertNoDivergenceAlarms(t, c)
+
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty group's log must be advancing on bubbles alone, and the
+	// merge must have applied their watermark vectors (vecBumps is how an
+	// idle group's watermark moves).
+	if idx := p.GroupNode(1).CommitIndex(); idx == 0 {
+		t.Fatal("empty group committed nothing: bubbles are not reaching it")
+	}
+	if gs := p.GroupStats(); gs.VecBumps == 0 {
+		t.Fatalf("merge stats %+v: no bubble-vector watermark bumps on an empty group", gs)
+	}
+}
+
+// TestFourGroupFiveReplicaFailover is the stress corner of the sharding
+// matrix: four independent Paxos groups over five replicas, a primary kill
+// mid-workload, and a cross-replica fingerprint assertion at the end. After
+// the failover every group must re-elect (the killed replica led all of
+// them), new stamps may regress below committed ones, and the merge's
+// effective-stamp bump must keep all surviving replicas in one order.
+func TestFourGroupFiveReplicaFailover(t *testing.T) {
+	cfg := groupsConfig(4)
+	cfg.Replicas = 5
+	c, err := StartCluster(cfg, newTestKV(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 10; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("fo:%d", i), fmt.Sprintf("SET f%d a%d", i, i)); got != "OK" {
+			t.Fatalf("pre-failover SET %d = %q", i, got)
+		}
+	}
+	if err := c.WaitQuiescent(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := c.FailPrimary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait out the elections — all four of them. The proxy starts
+	// accepting as soon as group 0 re-elects, but a write lands on
+	// whichever group its fresh connection id hashes to, and a group still
+	// mid-election refuses the proposal (the client sees a dropped
+	// connection). Resume load only once one replica leads every group.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p, err := c.Primary()
+		if err == nil && p.LeadsAllGroups() {
+			break
+		}
+		if time.Now().After(deadline) {
+			detail := ""
+			for i := 0; i < c.Replicas(); i++ {
+				r := c.Replica(i)
+				if r.killed() {
+					continue
+				}
+				for g := 0; g < 4; g++ {
+					v, prim := r.GroupNode(g).View()
+					detail += fmt.Sprintf(" r%dg%d{view=%d prim=%d}", i, g, v, prim)
+				}
+			}
+			t.Fatalf("no replica re-elected across all 4 groups:%s", detail)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 10; i < 18; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("fo:%d", i), fmt.Sprintf("SET f%d a%d", i, i)); got != "OK" {
+			t.Fatalf("post-failover SET %d = %q", i, got)
+		}
+	}
+	if got := kvRequest(t, c, "fo:check", "GET f2"); got != "VALUE a2" {
+		t.Fatalf("pre-failover key lost across leader kill: %q", got)
+	}
+	if got := kvRequest(t, c, "fo:check2", "GET f15"); got != "VALUE a15" {
+		t.Fatalf("post-failover key missing: %q", got)
+	}
+	if err := c.WaitQuiescent(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaFingerprints(t, c)
+	assertNoDivergenceAlarms(t, c)
+	// The new primary must lead every group (bubble rounds and admissions
+	// both need it in steady state), having re-elected after the kill.
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() == killed {
+		t.Fatalf("killed replica %d still primary", killed)
+	}
+	for g := 0; g < 4; g++ {
+		if idx := p.GroupNode(g).CommitIndex(); idx == 0 {
+			t.Fatalf("group %d never committed", g)
+		}
+	}
+}
+
+// TestMultiGroupRestart recovers a failed replica from its per-group WALs
+// alone: every group's log replays from slot 1 through the cross-group
+// merge, which must reconstruct the identical global order the live
+// replicas executed (the merge is a pure function of the per-group
+// committed streams — replay included).
+func TestMultiGroupRestart(t *testing.T) {
+	cfg := groupsConfig(2)
+	cfg.WALDir = t.TempDir()
+	c, err := StartCluster(cfg, newTestKV(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for i := 0; i < 6; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("rs:%d", i), fmt.Sprintf("SET r%d x%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d = %q", i, got)
+		}
+	}
+	if err := c.WaitQuiescent(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Primary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for i := 0; i < c.Replicas(); i++ {
+		if c.Replica(i) != p {
+			victim = i
+			break
+		}
+	}
+	c.FailReplica(victim)
+	for i := 6; i < 10; i++ {
+		if got := kvRequest(t, c, fmt.Sprintf("rs:%d", i), fmt.Sprintf("SET r%d x%d", i, i)); got != "OK" {
+			t.Fatalf("SET %d (victim down) = %q", i, got)
+		}
+	}
+	if err := c.RestartReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt replica replays both groups' WALs and catches up on the
+	// entries committed while it was down.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Replica(victim).Outputs().Len() >= c.Replica(p.ID()).Outputs().Len() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.WaitQuiescent(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaFingerprints(t, c)
+}

@@ -95,11 +95,12 @@ func (ro *replicaObs) recordProposed(e *seq.Entry) {
 	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Stage: obs.StageProposed})
 }
 
-// recordCommitted marks an entry's consensus commit. Every replica records
-// the stage; the admit-to-commit latency is observable only where the
-// admission happened (the map lookup misses elsewhere). The admit time stays
-// mapped until consumption so admit-to-exec can still be measured.
-func (ro *replicaObs) recordCommitted(e *seq.Entry) {
+// recordCommitted marks an entry's consensus commit in group g (0 unless
+// sharded). Every replica records the stage; the admit-to-commit latency is
+// observable only where the admission happened (the map lookup misses
+// elsewhere). The admit time stays mapped until consumption so
+// admit-to-exec can still be measured.
+func (ro *replicaObs) recordCommitted(e *seq.Entry, g int) {
 	if e.Req == 0 {
 		return
 	}
@@ -109,14 +110,15 @@ func (ro *replicaObs) recordCommitted(e *seq.Entry) {
 	if ok {
 		ro.admitToCommit.Since(t0)
 	}
-	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index, Stage: obs.StageCommit})
+	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index,
+		Stage: obs.StageCommit, Group: g})
 }
 
 // recordConsumed marks an entry fully consumed by the server at its DMT
 // turn. Runs inside the sequence's consumption hook (under sq.mu): it only
 // touches ro.mu, the instruments, and the tracer — never the sequence or
 // the scheduler lock (logical comes from the scheduler's atomic mirror).
-func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
+func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane, group int) {
 	if e.Req == 0 {
 		return
 	}
@@ -139,7 +141,7 @@ func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
 			ro.admitToExec.Since(t0)
 		}
 		ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn,
-			Stage: obs.StageSpecExec, Logical: logical, Lane: lane})
+			Stage: obs.StageSpecExec, Logical: logical, Lane: lane, Group: group})
 		return
 	}
 	ro.mu.Lock()
@@ -155,7 +157,7 @@ func (ro *replicaObs) recordConsumed(e *seq.Entry, logical uint64, lane int) {
 		ro.admitToExec.Since(t0)
 	}
 	ro.tracer.Record(obs.SpanEvent{Req: e.Req, Conn: e.Conn, Index: e.Index,
-		Stage: obs.StageConsumed, Logical: logical, Lane: lane})
+		Stage: obs.StageConsumed, Logical: logical, Lane: lane, Group: group})
 }
 
 // recordConfirmed closes the loop on a speculatively consumed entry: its
@@ -198,12 +200,12 @@ func (ro *replicaObs) dropSpec(req uint64) {
 // recordOutput marks a server response on conn. Outputs carry no request id
 // of their own; they are attributed to the last request consumed on the
 // connection (the request/response flow of the example servers).
-func (ro *replicaObs) recordOutput(conn uint64, logical uint64, lane int) {
+func (ro *replicaObs) recordOutput(conn uint64, logical uint64, lane, group int) {
 	ro.mu.Lock()
 	req := ro.connReq[conn]
 	ro.mu.Unlock()
 	ro.tracer.Record(obs.SpanEvent{Req: req, Conn: conn, Stage: obs.StageOutput,
-		Logical: logical, Lane: lane})
+		Logical: logical, Lane: lane, Group: group})
 }
 
 // rejectAdmit counts a refused admission and forgets its admit time (the

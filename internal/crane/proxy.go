@@ -16,7 +16,11 @@ import (
 type proxy struct {
 	r *Replica
 
-	subCh  chan submitReq
+	// subChs holds one submission queue per Paxos group, each drained by
+	// its own submitLoop proposing to that group's consensus node —
+	// sharded deployments run their Accept rounds in parallel.
+	// subChs[0] is the whole pipeline when unsharded.
+	subChs []chan submitReq //crane:pergroup
 	stopCh chan struct{}
 
 	mu        sync.Mutex
@@ -39,12 +43,16 @@ type submitReq struct {
 const maxProxyBurst = 64
 
 func newProxy(r *Replica) *proxy {
-	return &proxy{
+	p := &proxy{
 		r:      r,
-		subCh:  make(chan submitReq, 4*maxProxyBurst),
+		subChs: make([]chan submitReq, r.groups),
 		stopCh: make(chan struct{}),
 		conns:  make(map[uint64]*simnet.Conn),
 	}
+	for g := range p.subChs {
+		p.subChs[g] = make(chan submitReq, 4*maxProxyBurst)
+	}
+	return p
 }
 
 // start binds the program's ports on this replica's host and begins
@@ -52,10 +60,16 @@ func newProxy(r *Replica) *proxy {
 func (p *proxy) start() error {
 	p.r.ro.reg.GaugeFunc("proxy_queue_depth",
 		"socket calls queued for consensus submission", func() float64 {
-			return float64(len(p.subCh))
+			n := 0
+			for _, ch := range p.subChs {
+				n += len(ch)
+			}
+			return float64(n)
 		})
-	p.wg.Add(1)
-	go p.submitLoop()
+	for g := range p.subChs {
+		p.wg.Add(1)
+		go p.submitLoop(g)
+	}
 	for _, port := range p.r.prog.Ports {
 		l, err := p.r.net.Listen(simnet.Addr(fmt.Sprintf("%s:%d", p.r.host, port)))
 		if err != nil {
@@ -120,12 +134,20 @@ func (p *proxy) readLoop(c *simnet.Conn, id uint64) {
 	}
 }
 
-// propose submits an entry for consensus through the burst submitter; it
-// reports false when this replica is no longer primary (the client should
-// reconnect to the new primary). Callers block until the burst containing
-// their entry is accepted for ordering, so the per-producer flow stays
-// synchronous while concurrent connections share one ProposeBatch.
+// propose submits a client socket call for consensus through the burst
+// submitter of the group its connection hashes to; it reports false when
+// this replica is no longer primary (the client should reconnect to the new
+// primary). Callers block until the burst containing their entry is
+// accepted for ordering, so the per-producer flow stays synchronous while
+// concurrent connections share one ProposeBatch.
 func (p *proxy) propose(e *seq.Entry) bool {
+	return p.proposeGroup(e, p.r.groupForConn(e.Conn))
+}
+
+// proposeGroup submits an entry into group g's burst submitter. Bubbles
+// name their group explicitly (one per group per starvation round); client
+// calls arrive via propose, which routes by connection id.
+func (p *proxy) proposeGroup(e *seq.Entry, g int) bool {
 	// Admission is where a request id is born: it rides the entry across
 	// the wire so every replica's lifecycle trace keys the same stages by
 	// the same id. Bubbles get an id (their commit is traceable) but no
@@ -137,7 +159,7 @@ func (p *proxy) propose(e *seq.Entry) bool {
 	}
 	req := submitReq{e: e, done: make(chan bool, 1)}
 	select {
-	case p.subCh <- req:
+	case p.subChs[g] <- req:
 	case <-p.stopCh:
 		p.r.ro.rejectAdmit(e.Req)
 		return false
@@ -154,18 +176,22 @@ func (p *proxy) propose(e *seq.Entry) bool {
 	}
 }
 
-// submitLoop coalesces queued socket calls from all client connections into
-// ProposeBatch bursts. A time bubble terminates the burst it rides in: no
-// later socket call is packaged after it, keeping the per-burst logical-time
-// consensus of §4 intact (the bubble's clocks elapse before any call queued
-// behind it is even submitted).
-func (p *proxy) submitLoop() {
+// submitLoop coalesces group g's queued socket calls into ProposeBatch
+// bursts for that group's consensus node. A time bubble terminates the
+// burst it rides in: no later socket call is packaged after it, keeping the
+// per-burst logical-time consensus of §4 intact (the bubble's clocks elapse
+// before any call queued behind it is even submitted). Sharded, each
+// group's loop runs its Accept rounds independently — the pipelining win —
+// and stamps every entry with the shared admission counter the cross-group
+// merge sorts by.
+func (p *proxy) submitLoop(g int) {
 	defer p.wg.Done()
+	subCh := p.subChs[g]
 	reqs := make([]submitReq, 0, maxProxyBurst)
 	for {
 		reqs = reqs[:0]
 		select { //crane:detflow-ok leader-side batching choice; composition is replicated through consensus before execution
-		case r := <-p.subCh:
+		case r := <-subCh:
 			reqs = append(reqs, r)
 		case <-p.stopCh:
 			return
@@ -173,7 +199,7 @@ func (p *proxy) submitLoop() {
 	drain:
 		for len(reqs) < maxProxyBurst && reqs[len(reqs)-1].e.Kind != seq.KindBubble {
 			select {
-			case r := <-p.subCh:
+			case r := <-subCh:
 				reqs = append(reqs, r)
 			default:
 				break drain
@@ -183,15 +209,53 @@ func (p *proxy) submitLoop() {
 		for i, r := range reqs {
 			ents[i] = r.e
 		}
+		if p.r.groups > 1 {
+			// Stamp in burst order from the shared counter: globally
+			// monotone at assignment, hence strictly monotone within the
+			// group. The counter is floored at the merge's own max
+			// watermark first: a replica that just took over leadership
+			// has a fresh counter, and stamps regressing far below the
+			// watermarks the cluster already emitted would leave the merge
+			// crawling — every effective stamp collapses to W+1, so an
+			// idle group's watermark closes the pre-failover gap one
+			// bubble round at a time. Flooring restores eff == stamp at
+			// once; any stamp value is replica-consistent because stamps
+			// ride the committed payload. A bubble asserts its own stamp as every group's
+			// watermark: anything any group admitted before this bubble
+			// carries a smaller stamp, so once the bubble emits, the merge
+			// may pass idle groups up to it. An admitted-but-uncommitted
+			// straggler below the vector is effective-stamp-bumped past it —
+			// identically on every replica, since the vector rides the
+			// committed payload.
+			if floor := p.r.gm.MaxWatermark(); floor > 0 {
+				for {
+					cur := p.r.stampCtr.Load()
+					if cur >= floor || p.r.stampCtr.CompareAndSwap(cur, floor) {
+						break
+					}
+				}
+			}
+			for _, e := range ents {
+				e.Stamp = p.r.stampCtr.Add(1)
+				if e.Kind == seq.KindBubble {
+					vec := make([]uint64, p.r.groups)
+					for h := range vec {
+						vec[h] = e.Stamp
+					}
+					e.Vec = vec
+				}
+			}
+		}
 		// Speculation: hand the burst to the execution pipeline before the
 		// Accept round even starts — the commit usually confirms what
-		// already ran.
+		// already ran. (Sharded deployments force speculation off: the
+		// merge emits in stamp order, not admission order.)
 		fed := false
 		if p.r.spec != nil {
 			fed = p.r.spec.feed(ents)
 		}
 		payloads, err := seq.EncodeBatch(ents)
-		ok := err == nil && p.r.node.ProposeBatch(payloads) == nil
+		ok := err == nil && p.r.nodes[g].ProposeBatch(payloads) == nil
 		if p.r.spec != nil {
 			if !ok {
 				// A propose failure means lost primaryship; nothing

@@ -82,9 +82,29 @@ type Replica struct {
 	net  *simnet.Network
 	mode Mode
 
-	node  *paxos.Node
-	store *wal.Log
-	sq    *seq.Sequence
+	node  *paxos.Node // == nodes[0], the sole group when unsharded
+	store *wal.Log    // == stores[0]
+	// nodes and stores hold one consensus node and one WAL per Paxos
+	// group: sharded deployments (Config.Groups > 1) order each
+	// connection's socket calls in the group it hashes to, multiplying
+	// proposal, fsync, and Accept-pipelining bandwidth by the group
+	// count. nodes[0] == node and stores[0] == store, so the
+	// single-group deployment is untouched.
+	nodes  []*paxos.Node //crane:pergroup
+	stores []*wal.Log    //crane:pergroup
+	groups int
+	// gm re-merges the groups' committed streams into one deterministic
+	// admission order using per-group watermark vectors carried on time
+	// bubbles (nil at one group: deliveries bypass the merge bit for
+	// bit). Its emit callback is afterMerge, run under gm's lock — the
+	// single-threaded continuation of what was the sole delivery
+	// goroutine.
+	gm *seq.Groups
+	// stampCtr issues the shared admission-order stamps the merge sorts
+	// by; the per-group burst submitters assign them just before
+	// proposing, so each group's committed stamps are monotone.
+	stampCtr atomic.Uint64
+	sq       *seq.Sequence
 	// sqs holds one Paxos sequence per execution lane; sqs[0] == sq, so the
 	// single-lane deployment is untouched. Committed entries are routed by
 	// connection id (Program.ConnLaneOf) and bubbles are cloned into every
@@ -119,14 +139,27 @@ type Replica struct {
 
 	bubblePending atomic.Bool
 	bubbleSince   atomic.Int64 // unix nanos of the outstanding request
+	alignAt       atomic.Int64 // unix nanos gating the next alignment round
 
 	restoreState []byte
 	deliverFrom  uint64
-	rejoining    bool
-	checker      *analysis.LockOrderChecker
-	schedRec     *dmt.Schedule
-	laneRecs     []*dmt.Schedule // per-lane recordings (CRANE_SCHED_REC, lanes > 1)
-	entArena     []seq.Entry
+	// deliverFroms and restoreWatermarks are the per-group counterparts
+	// of deliverFrom for sharded restores: each group catches up from its
+	// own checkpointed index, and the merge resumes from the checkpointed
+	// watermark vector so post-restore stamp bumps replay identically.
+	deliverFroms      []uint64 //crane:pergroup
+	restoreWatermarks []uint64
+	rejoining         bool
+	checker           *analysis.LockOrderChecker
+	schedRec          *dmt.Schedule
+	laneRecs          []*dmt.Schedule // per-lane recordings (CRANE_SCHED_REC, lanes > 1)
+	// entArenas are the per-group decode arenas: group g's delivery
+	// goroutine owns entArenas[g] exclusively. cloneArena backs the
+	// bubble clones made in enqueueDelivered, which is single-threaded
+	// by construction (the one delivery goroutine at one group; under
+	// gm's lock when sharded).
+	entArenas  [][]seq.Entry //crane:pergroup
+	cloneArena []seq.Entry
 	// transport overrides the hub endpoint (TCP consensus deployments).
 	transport paxos.Transport
 	// ro is the replica's observability state: instrument registry,
@@ -165,6 +198,14 @@ func newReplica(id int, cfg *Config, prog papi.Program, net *simnet.Network) *Re
 	if cfg.Mode.deterministic() {
 		r.lanes = prog.EffectiveLanes(cfg.Lanes)
 	}
+	r.groups = cfg.Groups
+	if r.groups < 1 || !cfg.Mode.replicated() {
+		r.groups = 1
+	}
+	r.entArenas = make([][]seq.Entry, r.groups)
+	if r.groups > 1 {
+		r.gm = seq.NewGroups(r.groups, r.afterMerge)
+	}
 	r.sqs = make([]*seq.Sequence, r.lanes)
 	r.sqs[0] = r.sq
 	for i := 1; i < r.lanes; i++ {
@@ -199,6 +240,44 @@ func (r *Replica) laneForConn(conn uint64) int {
 	return r.prog.ConnLaneOf(conn, r.lanes)
 }
 
+// groupForConn is the deterministic connection-to-group routing
+// (rendezvous hashing unless the program overrides it). It runs on the
+// primary before ordering; replicas re-derive it only for observability.
+func (r *Replica) groupForConn(conn uint64) int {
+	return r.prog.ConnGroupOf(conn, r.groups)
+}
+
+// groupOf attributes a committed-stream entry to a group for trace spans.
+// Bubbles are proposed per group but consumed as lane-cloned clock grants,
+// so they report group 0.
+func (r *Replica) groupOf(e *seq.Entry) int {
+	if r.groups <= 1 || e.Kind == seq.KindBubble {
+		return 0
+	}
+	return r.groupForConn(e.Conn)
+}
+
+// groupReg returns the instrument registry view for group g: the plain
+// registry when unsharded (legacy names, bit-identical scrapes), the
+// group-renaming view otherwise (paxos_groupN_*, wal_groupN_*).
+func (r *Replica) groupReg(g int) *obs.Registry {
+	if r.groups <= 1 {
+		return r.ro.reg
+	}
+	return r.ro.reg.Grouped(g)
+}
+
+// deliverFromGroup resolves group g's catch-up index after a restore.
+func (r *Replica) deliverFromGroup(g int) uint64 {
+	if len(r.deliverFroms) == r.groups {
+		return r.deliverFroms[g]
+	}
+	if g == 0 {
+		return r.deliverFrom
+	}
+	return 0
+}
+
 // start builds the filesystem, program instance, consensus node, proxy and
 // process, and launches the server.
 func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
@@ -222,20 +301,29 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	for i, lsq := range r.sqs {
 		lane := i
 		lsq.SetConsumedHook(func(e *seq.Entry) {
-			r.ro.recordConsumed(e, r.logicalClock(), lane)
+			r.ro.recordConsumed(e, r.logicalClock(), lane, r.groupOf(e))
 		})
 	}
 
 	if r.mode.replicated() {
-		var store *wal.Log
 		if r.cfg.WALDir != "" {
-			var err error
-			store, err = wal.Open(filepath.Join(r.cfg.WALDir, r.host),
-				wal.Options{NoSync: !r.cfg.WALSync, Obs: r.ro.reg})
-			if err != nil {
-				return err
+			for g := 0; g < r.groups; g++ {
+				dir := filepath.Join(r.cfg.WALDir, r.host)
+				if r.groups > 1 {
+					// One log per group: each group's appends and fsyncs
+					// proceed independently (the fsync-bandwidth axis of
+					// the sharding win). Single-group keeps the legacy
+					// layout so existing WALs restart unchanged.
+					dir = filepath.Join(dir, fmt.Sprintf("g%d", g))
+				}
+				store, err := wal.Open(dir,
+					wal.Options{NoSync: !r.cfg.WALSync, Obs: r.groupReg(g)})
+				if err != nil {
+					return err
+				}
+				r.stores = append(r.stores, store)
 			}
-			r.store = store
+			r.store = r.stores[0]
 		}
 		initialPrimary := 0
 		if r.deliverFrom > 0 || r.restoreState != nil || r.rejoining {
@@ -249,37 +337,71 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 			transport = hub.Endpoint(r.id)
 		}
 		if ts, ok := transport.(interface{ Stats() paxos.TransportStats }); ok {
+			// The wire is shared across groups, so transport counters
+			// stay unprefixed even when sharded.
 			registerTransportStats(r.ro.reg, ts.Stats)
 		}
-		pcfg := paxos.Config{
-			ID:                r.id,
-			Peers:             peers,
-			Transport:         transport,
-			Store:             store,
-			HeartbeatInterval: r.cfg.HeartbeatInterval,
-			ElectionTimeout:   r.cfg.ElectionTimeout,
-			DeliverFrom:       r.deliverFrom,
-			OnDeliver:         r.onDeliver,
-			InitialPrimary:    initialPrimary,
-			Obs:               r.ro.reg,
+		var mux *paxos.GroupMux
+		if r.groups > 1 {
+			mux = paxos.NewGroupMux(transport)
 		}
-		if r.flt != nil {
-			pcfg.AuditSource = func() []flight.AuditSample {
-				return r.flt.CollectAudit(&r.auditCur)
+		for g := 0; g < r.groups; g++ {
+			g := g
+			port := transport
+			if mux != nil {
+				port = mux.Port(g)
 			}
-			pcfg.OnViewChange = func(view uint64, primary int) {
-				r.flt.Control().Note(flight.EvViewChange, r.logicalClock(),
-					view, uint64(primary), "")
+			var store *wal.Log
+			if len(r.stores) > 0 {
+				store = r.stores[g]
 			}
-			if r.aud != nil {
-				pcfg.OnAudit = r.aud.onAudit
+			pcfg := paxos.Config{
+				ID:                r.id,
+				Peers:             peers,
+				Transport:         port,
+				Store:             store,
+				HeartbeatInterval: r.cfg.HeartbeatInterval,
+				ElectionTimeout:   r.cfg.ElectionTimeout,
+				DeliverFrom:       r.deliverFromGroup(g),
+				OnDeliver:         func(e paxos.LogEntry) { r.onDeliverGroup(g, e) },
+				InitialPrimary:    initialPrimary,
+				Obs:               r.groupReg(g),
 			}
+			if r.flt != nil {
+				if g == 0 {
+					// The live audit piggybacks journal marks on one
+					// group's AcceptOK stream; the marks cover the whole
+					// replica (lane journals span groups), so riding one
+					// group suffices and avoids duplicate samples.
+					pcfg.AuditSource = func() []flight.AuditSample {
+						return r.flt.CollectAudit(&r.auditCur)
+					}
+					if r.aud != nil {
+						pcfg.OnAudit = r.aud.onAudit
+					}
+				}
+				detail := ""
+				if r.groups > 1 {
+					detail = fmt.Sprintf("group%d", g)
+				}
+				pcfg.OnViewChange = func(view uint64, primary int) {
+					r.flt.Control().Note(flight.EvViewChange, r.logicalClock(),
+						view, uint64(primary), detail)
+				}
+			}
+			node, err := paxos.NewNode(pcfg)
+			if err != nil {
+				return err
+			}
+			r.nodes = append(r.nodes, node)
 		}
-		node, err := paxos.NewNode(pcfg)
-		if err != nil {
-			return err
+		r.node = r.nodes[0]
+		if r.gm != nil && len(r.restoreWatermarks) == r.groups {
+			// Resume the merge from the checkpointed watermark vector:
+			// post-restore stamp bumps (eff = max(stamp, W+1)) must replay
+			// exactly as the live replicas computed them.
+			r.gm.SetWatermarks(r.restoreWatermarks)
 		}
-		r.node = node
 	}
 
 	switch r.mode {
@@ -330,7 +452,9 @@ func (r *Replica) start(hub *paxos.ChanHub, peers []int) error {
 	}
 
 	if r.node != nil {
-		r.node.Start()
+		for _, nd := range r.nodes {
+			nd.Start()
+		}
 		r.px = newProxy(r)
 		if err := r.px.start(); err != nil {
 			return err
@@ -389,6 +513,9 @@ func (r *Replica) health() obs.Health {
 	for _, lsq := range r.sqs {
 		pending += lsq.Len()
 	}
+	if r.gm != nil {
+		pending += r.gm.Pending()
+	}
 	h := obs.Health{
 		Replica:    r.id,
 		Mode:       r.mode.String(),
@@ -410,22 +537,42 @@ func (r *Replica) health() obs.Health {
 	return h
 }
 
-// onDeliver receives committed consensus decisions in order and appends
-// them to the Paxos sequence (§3.2). Entries are carved from a chunked
-// arena: deliveries arrive one at a time from the Paxos node's event loop
-// (never concurrently), so the delivery path costs one allocation per
-// arena chunk instead of one per entry.
-func (r *Replica) onDeliver(e paxos.LogEntry) {
-	if len(r.entArena) == 0 {
-		r.entArena = make([]seq.Entry, 64)
+// onDeliverGroup receives group g's committed consensus decisions in that
+// group's order (§3.2). Entries are carved from the group's chunked arena:
+// each group's deliveries arrive one at a time from its Paxos node's event
+// loop (never concurrently within a group), so the delivery path costs one
+// allocation per arena chunk instead of one per entry. Unsharded, the sole
+// group feeds afterMerge directly; sharded, entries pass through the
+// watermark merge, which emits them in the replica-agreed stamp order.
+func (r *Replica) onDeliverGroup(g int, e paxos.LogEntry) {
+	if len(r.entArenas[g]) == 0 {
+		r.entArenas[g] = make([]seq.Entry, 64)
 	}
-	ent := &r.entArena[0]
-	r.entArena = r.entArena[1:]
+	ent := &r.entArenas[g][0]
+	r.entArenas[g] = r.entArenas[g][1:]
 	if err := seq.DecodeInto(ent, e.Payload); err != nil {
 		return
 	}
 	ent.Index = e.Index
-	r.ro.recordCommitted(ent)
+	r.ro.recordCommitted(ent, g)
+	if r.flt != nil && r.groups > 1 {
+		// Journal the (group, slot) of every commit so crane-inspect can
+		// localize a divergence to the group whose stream first differed.
+		r.flt.Control().Emit(flight.EvGroupCommit, r.logicalClock(),
+			0, uint64(g), e.Index)
+	}
+	if r.gm != nil {
+		r.gm.Deliver(g, ent)
+		return
+	}
+	r.afterMerge(ent)
+}
+
+// afterMerge consumes one entry in the replica's global admission order —
+// directly from the single group's deliveries, or from the cross-group
+// merge's emit callback (under gm's lock, which preserves the
+// single-threaded discipline the speculator and lane routing assume).
+func (r *Replica) afterMerge(ent *seq.Entry) {
 	if r.spec != nil && r.spec.onCommitted(ent) {
 		// The commit confirmed a speculative clone already in a lane queue
 		// (or was swallowed for rollback replay); it must not be enqueued a
@@ -457,11 +604,11 @@ func (r *Replica) enqueueDelivered(ent *seq.Entry) {
 		// lanes cannot share one entry). Bubbles are what keep a starved
 		// lane's clock advancing, which the cross-lane merge relies on.
 		for _, lsq := range r.sqs {
-			if len(r.entArena) == 0 {
-				r.entArena = make([]seq.Entry, 64)
+			if len(r.cloneArena) == 0 {
+				r.cloneArena = make([]seq.Entry, 64)
 			}
-			clone := &r.entArena[0]
-			r.entArena = r.entArena[1:]
+			clone := &r.cloneArena[0]
+			r.cloneArena = r.cloneArena[1:]
 			*clone = *ent
 			lsq.Enqueue(clone)
 		}
@@ -494,7 +641,24 @@ func (r *Replica) maybeRequestBubble() {
 	if !starved {
 		return
 	}
-	if r.node == nil || !r.node.IsPrimary() {
+	if r.node == nil {
+		return
+	}
+	r.alignGroupLeadership()
+	// Per-group primaryship: after a failover the groups can transiently
+	// elect different leaders (alignGroupLeadership pulls them back onto
+	// the group-0 leader, but not atomically). Whoever leads a group paces
+	// that group's clock — the merge is live only if every group keeps
+	// committing bubbles, so each starvation round proposes one bubble
+	// into every group this replica currently leads.
+	leads := false
+	for _, nd := range r.nodes {
+		if nd.IsPrimary() {
+			leads = true
+			break
+		}
+	}
+	if !leads {
 		return
 	}
 	now := time.Now().UnixNano()
@@ -510,24 +674,76 @@ func (r *Replica) maybeRequestBubble() {
 		return
 	}
 	r.bubbleSince.Store(now)
-	// One bubble is cloned into every lane (onDeliver), so the replica-wide
-	// clock grant of a single consensus round is NClock x lanes — and every
-	// granted clock costs one idle-thread token turn to consume. Dividing
-	// the per-bubble grant by the lane count keeps the grant (and the chew
-	// cost) per consensus round constant as lanes scale; a starved lane
-	// simply requests bubbles more often. The divided value rides the
-	// committed entry, so replicas agree by construction. Single-lane is
-	// the identity: pre-lane bubbles are unchanged.
-	nclock := r.cfg.Nclock / uint64(r.lanes)
+	// One bubble is cloned into every lane (afterMerge), so the
+	// replica-wide clock grant of a single bubble round is
+	// NClock x lanes x groups — and every granted clock costs one
+	// idle-thread token turn to consume. Dividing the per-bubble grant by
+	// lanes x groups keeps the grant (and the chew cost) per round
+	// constant as either axis scales; a starved lane simply requests
+	// bubbles more often. The divided value rides the committed entries,
+	// so replicas agree by construction. Single-lane single-group is the
+	// identity: pre-lane bubbles are unchanged.
+	nclock := r.cfg.Nclock / uint64(r.lanes*r.groups)
 	if nclock == 0 {
 		nclock = 1
 	}
-	e := seq.Entry{Kind: seq.KindBubble, NClock: nclock}
-	// Bubbles ride the proxy's burst submitter so a bubble terminates the
-	// burst it lands in (§4: no socket call queued behind the bubble is
-	// packaged after it).
-	if !r.px.propose(&e) {
+	// Bubbles ride the proxy's burst submitters so a bubble terminates
+	// the burst it lands in (§4: no socket call queued behind the bubble
+	// is packaged after it). One bubble goes into EVERY group this
+	// replica leads: the merge can only emit past a group whose watermark
+	// has advanced, so an idle group with no bubble flow would stall
+	// delivery for all of them.
+	proposed := false
+	for g, nd := range r.nodes {
+		if !nd.IsPrimary() {
+			continue
+		}
+		e := seq.Entry{Kind: seq.KindBubble, NClock: nclock}
+		if r.px.proposeGroup(&e, g) {
+			proposed = true
+		}
+	}
+	if !proposed {
 		r.bubblePending.Store(false)
+	}
+}
+
+// alignGroupLeadership pulls every Paxos group's leadership onto this
+// replica once it leads group 0. Group elections are independent, and
+// after a failover they can settle on different replicas for good — the
+// proxy accepts clients wherever group 0 leads, so a connection hashed to
+// a group led elsewhere would be refused forever. Group 0's election is
+// the tie-break: its leader campaigns in every group it does not lead,
+// rate-limited to one round per backoff window so an election in flight
+// is not trampled. Leadership placement never touches the committed
+// order, so alignment is determinism-neutral.
+func (r *Replica) alignGroupLeadership() {
+	if r.groups <= 1 || !r.node.IsPrimary() {
+		return
+	}
+	aligned := true
+	for _, nd := range r.nodes[1:] {
+		if !nd.IsPrimary() {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		return
+	}
+	window := 2 * r.cfg.ElectionTimeout
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	now := time.Now().UnixNano()
+	next := r.alignAt.Load()
+	if now < next || !r.alignAt.CompareAndSwap(next, now+int64(window)) {
+		return // a round is pending, or another caller won the CAS
+	}
+	for _, nd := range r.nodes[1:] {
+		if !nd.IsPrimary() {
+			nd.Campaign()
+		}
 	}
 }
 
@@ -541,7 +757,7 @@ func (r *Replica) emitOutput(conn uint64, data []byte) {
 	}
 	n, fp := r.out.Record(conn, data) //crane:specleak-ok the speculator declined the output above: no window is open, the effect is committed
 	r.flt.NoteOutput(uint64(n), fp)
-	r.ro.recordOutput(conn, r.logicalClock(), r.laneForConn(conn))
+	r.ro.recordOutput(conn, r.logicalClock(), r.laneForConn(conn), r.groupForConn(conn))
 	if r.px != nil && r.node.IsPrimary() {
 		r.px.forward(conn, data)
 	}
@@ -597,8 +813,8 @@ func (r *Replica) stop() {
 	if r.px != nil {
 		r.px.close()
 	}
-	if r.node != nil {
-		r.node.Stop()
+	for _, nd := range r.nodes {
+		nd.Stop()
 	}
 	if pproc != nil {
 		pproc.Wait()
@@ -606,8 +822,8 @@ func (r *Replica) stop() {
 	if r.nproc != nil {
 		r.nproc.Wait()
 	}
-	if r.store != nil {
-		r.store.Close() //crane:fsyncerr-ok shutdown path; every append already synced, so a close failure loses nothing durable
+	for _, store := range r.stores {
+		store.Close() //crane:fsyncerr-ok shutdown path; every append already synced, so a close failure loses nothing durable
 	}
 	r.ro.close()
 }
@@ -625,6 +841,16 @@ func (r *Replica) Quiescent() bool {
 		if !lsq.Empty() {
 			return false
 		}
+	}
+	if r.gm != nil && r.gm.PendingClientCalls() > 0 {
+		// Client entries parked in the cross-group merge are admitted input
+		// the program has not yet seen — checkpointing under them would
+		// lose them on restore. Parked BUBBLES are fine: in steady state
+		// the newest bubble round's tail is almost always parked behind an
+		// as-yet-empty group, and a bubble is pure clock padding the idle
+		// thread consumes invisibly. (Checkpoint() separately insists on a
+		// fully drained merge so its watermark capture is exact.)
+		return false
 	}
 	if r.spec != nil && r.spec.active() {
 		// An open speculation window or a running repair means execution
@@ -656,21 +882,54 @@ func (r *Replica) Restore(b []byte) error {
 // capture.
 func (r *Replica) Checkpoint(cp *checkpoint.Checkpointer) (*checkpoint.Checkpoint, *checkpoint.Timings, error) {
 	for attempt := 0; attempt < 10; attempt++ {
-		idxBefore := r.node.CommitIndex()
+		idxsBefore := r.commitIndexes()
 		r.execMu.Lock()
 		fs := r.fs
 		r.execMu.Unlock()
-		ck, tm, err := cp.Capture(r, fs, r.baseSnap, func() uint64 { return idxBefore })
+		ck, tm, err := cp.Capture(r, fs, r.baseSnap, func() uint64 { return idxsBefore[0] })
 		if err != nil {
 			return nil, tm, err
 		}
-		if r.node.CommitIndex() == idxBefore && r.Quiescent() {
+		if r.commitIndexesStill(idxsBefore) && r.Quiescent() &&
+			(r.gm == nil || r.gm.Pending() == 0) {
+			// At G>1 the capture must land in a fully drained merge window
+			// (between bubble rounds): a parked bubble would advance the
+			// live replicas' watermarks after the capture while the
+			// restored replica never replays it (its slot is below the
+			// checkpointed commit index), skewing effective stamps across
+			// replicas. The commit-index re-validation guarantees nothing
+			// was delivered during the capture, so a drained merge now
+			// means a drained merge throughout.
+			if r.groups > 1 {
+				ck.GroupIndexes = idxsBefore
+				ck.GroupWatermarks = r.gm.Watermarks()
+			}
 			return ck, tm, nil
 		}
 		// Input raced the capture; back off and retry (§5.2).
 		time.Sleep(2 * time.Millisecond)
 	}
 	return nil, nil, fmt.Errorf("crane: checkpoint never stabilized")
+}
+
+// commitIndexes snapshots every group's consensus commit index.
+func (r *Replica) commitIndexes() []uint64 {
+	idxs := make([]uint64, len(r.nodes))
+	for g, nd := range r.nodes {
+		idxs[g] = nd.CommitIndex()
+	}
+	return idxs
+}
+
+// commitIndexesStill reports whether no group committed past the snapshot
+// taken before the capture (the §5.2 race re-validation, per group).
+func (r *Replica) commitIndexesStill(idxs []uint64) bool {
+	for g, nd := range r.nodes {
+		if nd.CommitIndex() != idxs[g] {
+			return false
+		}
+	}
+	return true
 }
 
 // Accessors used by the cluster, tests, and benches.
@@ -705,8 +964,48 @@ func (r *Replica) SeqStats() seq.Stats {
 	return agg
 }
 
-// Node exposes the consensus node (nil in un-replicated modes).
+// Node exposes the consensus node (nil in un-replicated modes; group 0's
+// node in sharded deployments).
 func (r *Replica) Node() *paxos.Node { return r.node }
+
+// GroupNode exposes group g's consensus node (nil when out of range or
+// un-replicated).
+func (r *Replica) GroupNode(g int) *paxos.Node {
+	if g < 0 || g >= len(r.nodes) {
+		return nil
+	}
+	return r.nodes[g]
+}
+
+// Groups returns the Paxos group count (1 unless sharded).
+func (r *Replica) Groups() int { return r.groups }
+
+// LeadsAllGroups reports whether this replica is the consensus primary of
+// every Paxos group. Group elections are independent: after a failover the
+// proxy starts accepting clients as soon as group 0 re-elects, while a call
+// routed to a group still mid-election is refused. Failover tests (and
+// health probes) poll this for the fully re-elected state before resuming
+// load.
+func (r *Replica) LeadsAllGroups() bool {
+	if len(r.nodes) == 0 {
+		return false
+	}
+	for _, nd := range r.nodes {
+		if !nd.IsPrimary() {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupStats returns the cross-group merge counters (zero when unsharded:
+// the single group's deliveries bypass the merge).
+func (r *Replica) GroupStats() seq.GroupStats {
+	if r.gm == nil {
+		return seq.GroupStats{}
+	}
+	return r.gm.Stats()
+}
 
 // FS returns the replica's container filesystem (the live one: a
 // speculation rollback swaps in a rebuilt filesystem).

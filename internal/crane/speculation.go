@@ -466,7 +466,7 @@ func (sp *speculator) flushLocked() {
 		}
 		n, fp := sp.r.out.Record(o.conn, o.data) //crane:specleak-ok flush path: the window's commits all confirmed, these effects are committed
 		sp.r.flt.NoteOutput(uint64(n), fp)
-		sp.r.ro.recordOutput(o.conn, sp.r.logicalClock(), o.lane)
+		sp.r.ro.recordOutput(o.conn, sp.r.logicalClock(), o.lane, 0) // speculation implies one group
 		sp.recorded[o.lane]++
 		sp.replayed[o.lane]++
 		if primary {
@@ -627,6 +627,12 @@ func (sp *speculator) rollback() {
 	r.closedMu.Lock()
 	r.closedConns = make(map[uint64]bool)
 	r.closedMu.Unlock()
+	// Lane resets are safe precisely because speculation implies a single
+	// Paxos group (Config forces Speculation off at Groups > 1): every
+	// discarded entry is replayed from this group's own speculation log.
+	// Were a rollback ever to run sharded, it would have to use the
+	// group-scoped seq.Groups.ResetGroup — a blanket reset would discard
+	// entries other groups committed but the merge has not yet emitted.
 	for _, lsq := range r.sqs {
 		lsq.Reset()
 	}

@@ -273,7 +273,7 @@ func coversClosure(sup suppressions, spans []closureSpan, analyzer string, pos t
 func Analyzers() []*Analyzer {
 	return []*Analyzer{NondetAnalyzer, LockOrderAnalyzer, FsyncErrAnalyzer,
 		ObsRegAnalyzer, LaneConsistencyAnalyzer, SpecLeakAnalyzer,
-		DetflowAnalyzer, AtomicMixAnalyzer}
+		DetflowAnalyzer, AtomicMixAnalyzer, GroncoupleAnalyzer}
 }
 
 // SortDiagnostics orders findings by (file, line, column, analyzer,

@@ -59,6 +59,10 @@ func TestSpecLeakSkipsUngated(t *testing.T) {
 	linttest.Run(t, testdata(t, "specleakout"), lint.SpecLeakAnalyzer)
 }
 
+func TestGroncouple(t *testing.T) {
+	linttest.Run(t, testdata(t, "groncouple"), lint.GroncoupleAnalyzer)
+}
+
 func TestDetflow(t *testing.T) {
 	linttest.Run(t, testdata(t, "detflow"), lint.DetflowAnalyzer)
 }
@@ -132,7 +136,7 @@ func TestClosureSuppression(t *testing.T) {
 // deliberately, and cranevet -list output follows this order.
 func TestAnalyzerList(t *testing.T) {
 	want := []string{"nondet", "lockorder", "fsyncerr", "obsreg",
-		"laneconsistency", "specleak", "detflow", "atomicmix"}
+		"laneconsistency", "specleak", "detflow", "atomicmix", "groncouple"}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,53 @@
+// Package groncouple exercises the groncouple analyzer: every accepted
+// way of indexing //crane:pergroup state — group-range keys, g-named
+// parameters, router results, explicit constants — plus the cross-group
+// reads that must be flagged (lane indexes, connection-derived counters,
+// arbitrary arithmetic) and the suppression escape hatch.
+package groncouple
+
+type node struct{ commit uint64 }
+
+type queue struct{ pend int }
+
+type replica struct {
+	nodes  []*node  //crane:pergroup
+	queues []*queue //crane:pergroup
+	lanes  []*queue // NOT per-group: lane state, indexed freely
+	groups int
+}
+
+func groupForConn(conn uint64, groups int) int { return int(conn) % groups }
+
+func (r *replica) laneOf(conn uint64) int { return int(conn) % len(r.lanes) }
+
+// ok covers the accepted index forms.
+func (r *replica) ok(conn uint64) uint64 {
+	var sum uint64
+	// Range over a per-group field: the key is a group id whatever it is
+	// named.
+	for i, nd := range r.nodes {
+		sum += nd.commit + uint64(r.queues[i].pend)
+	}
+	// Conventional group-id names.
+	for g := 0; g < r.groups; g++ {
+		sum += r.nodes[g].commit
+	}
+	// Router results and explicit constants.
+	sum += r.nodes[groupForConn(conn, r.groups)].commit
+	sum += r.nodes[0].commit
+	// Lane state is not per-group; any index is fine.
+	sum += uint64(r.lanes[r.laneOf(conn)].pend)
+	return sum
+}
+
+// bad covers the cross-group reads the analyzer exists for.
+func (r *replica) bad(conn uint64, lane int) uint64 {
+	var sum uint64
+	sum += r.nodes[lane].commit             // want `per-group field r\.nodes indexed by "lane"`
+	sum += uint64(r.queues[int(conn)].pend) // want `per-group field r\.queues indexed by "int\(\.\.\.\)"`
+	for i, lq := range r.lanes {
+		sum += uint64(lq.pend) + r.nodes[i].commit // want `per-group field r\.nodes indexed by "i"`
+	}
+	sum += r.nodes[lane].commit //crane:groncouple-ok fixture: deliberate cross-group read
+	return sum
+}

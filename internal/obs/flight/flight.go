@@ -65,6 +65,7 @@ const (
 	EvSpecRollback uint8 = 68 // checkpoint rollback: A=new epoch, B=boundary index
 	EvCheckpoint   uint8 = 69 // boundary checkpoint installed: A=log index
 	EvViewChange   uint8 = 70 // consensus view change: A=view, B=primary
+	EvGroupCommit  uint8 = 71 // sharded consensus commit: A=Paxos group, B=per-group slot
 )
 
 // Comparable reports whether kind participates in the chain hash.
@@ -103,6 +104,8 @@ func KindName(kind uint8) string {
 		return "checkpoint"
 	case EvViewChange:
 		return "view_change"
+	case EvGroupCommit:
+		return "group_commit"
 	}
 	return fmt.Sprintf("kind%d", kind)
 }
@@ -114,7 +117,7 @@ func kindByName(name string) uint8 {
 			return k
 		}
 	}
-	for k := EvOutput; k <= EvViewChange; k++ {
+	for k := EvOutput; k <= EvGroupCommit; k++ {
 		if KindName(k) == name {
 			return k
 		}

@@ -283,6 +283,12 @@ func entryLine(l *LaneDump, idx uint64) string {
 		return "-"
 	}
 	e := &l.Entries[idx-first]
+	if e.Kind == EvGroupCommit {
+		// Label the group id so a divergence report reads as "which Paxos
+		// group's stream split" at a glance.
+		return fmt.Sprintf("%6d %-8s clk=%d pos=%d grp=%d slot=%d %08x",
+			e.Idx, KindName(e.Kind), e.Clock, e.Pos, e.A, e.B, e.Chain&0xffffffff)
+	}
 	return fmt.Sprintf("%6d %-8s clk=%d pos=%d a=%d b=%d %08x",
 		e.Idx, KindName(e.Kind), e.Clock, e.Pos, e.A, e.B, e.Chain&0xffffffff)
 }

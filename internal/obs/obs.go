@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -251,7 +252,17 @@ func (h *Histogram) Snapshot() Snapshot {
 // takes a mutex; observation (hot path) is lock-free. A nil *Registry is
 // the no-op registry: every constructor returns nil, and nil instruments
 // discard observations.
+//
+// A Registry value is a view over shared instrument state: Grouped derives
+// a view that namespaces instrument names with a consensus-group id, so N
+// Paxos groups register side by side in one scrape surface without name
+// collisions (ISSUE 10).
 type Registry struct {
+	st     *registryState
+	rename func(string) string // nil: identity
+}
+
+type registryState struct {
 	mu         sync.Mutex
 	counters   []*Counter
 	gauges     []*Gauge
@@ -262,7 +273,39 @@ type Registry struct {
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]any)}
+	return &Registry{st: &registryState{byName: make(map[string]any)}}
+}
+
+// Grouped returns a view of the registry that renames every instrument
+// registered through it with a consensus-group namespace inserted after
+// the subsystem prefix: "paxos_proposals_total" becomes
+// "paxos_group2_proposals_total", "wal_fsyncs_total" becomes
+// "wal_group2_fsyncs_total". The view shares the underlying instrument
+// state, so WritePrometheus on any view renders everything. Nil-safe.
+func (r *Registry) Grouped(g int) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{st: r.st, rename: func(name string) string {
+		return GroupInstrumentName(name, g)
+	}}
+}
+
+// GroupInstrumentName inserts a group namespace after an instrument
+// name's subsystem prefix ("paxos_x" -> "paxos_group2_x").
+func GroupInstrumentName(name string, g int) string {
+	if i := strings.IndexByte(name, '_'); i >= 0 {
+		return name[:i+1] + "group" + strconv.Itoa(g) + "_" + name[i+1:]
+	}
+	return name + "_group" + strconv.Itoa(g)
+}
+
+// name applies the view's rename, if any.
+func (r *Registry) name(n string) string {
+	if r.rename != nil {
+		return r.rename(n)
+	}
+	return n
 }
 
 // Counter returns the counter registered under name, creating it if
@@ -271,14 +314,15 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.byName[name].(*Counter); ok {
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if c, ok := r.st.byName[name].(*Counter); ok {
 		return c
 	}
 	c := &Counter{name: name, help: help}
-	r.counters = append(r.counters, c)
-	r.byName[name] = c
+	r.st.counters = append(r.st.counters, c)
+	r.st.byName[name] = c
 	return c
 }
 
@@ -287,14 +331,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok := r.byName[name].(*Gauge); ok {
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if g, ok := r.st.byName[name].(*Gauge); ok {
 		return g
 	}
 	g := &Gauge{name: name, help: help}
-	r.gauges = append(r.gauges, g)
-	r.byName[name] = g
+	r.st.gauges = append(r.st.gauges, g)
+	r.st.byName[name] = g
 	return g
 }
 
@@ -305,15 +350,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok := r.byName[name].(*gaugeFunc); ok {
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if g, ok := r.st.byName[name].(*gaugeFunc); ok {
 		g.fn = fn
 		return
 	}
 	g := &gaugeFunc{name: name, help: help, fn: fn}
-	r.gaugeFuncs = append(r.gaugeFuncs, g)
-	r.byName[name] = g
+	r.st.gaugeFuncs = append(r.st.gaugeFuncs, g)
+	r.st.byName[name] = g
 }
 
 // Histogram returns the histogram registered under name, creating it if
@@ -322,14 +368,15 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok := r.byName[name].(*Histogram); ok {
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if h, ok := r.st.byName[name].(*Histogram); ok {
 		return h
 	}
 	h := &Histogram{name: name, help: help}
-	r.hists = append(r.hists, h)
-	r.byName[name] = h
+	r.st.hists = append(r.st.hists, h)
+	r.st.byName[name] = h
 	return h
 }
 
@@ -340,14 +387,15 @@ func (r *Registry) ValueHistogram(name, help string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok := r.byName[name].(*Histogram); ok {
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if h, ok := r.st.byName[name].(*Histogram); ok {
 		return h
 	}
 	h := &Histogram{name: name, help: help, isValue: true}
-	r.hists = append(r.hists, h)
-	r.byName[name] = h
+	r.st.hists = append(r.st.hists, h)
+	r.st.byName[name] = h
 	return h
 }
 
@@ -356,9 +404,10 @@ func (r *Registry) FindHistogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, _ := r.byName[name].(*Histogram)
+	name = r.name(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	h, _ := r.st.byName[name].(*Histogram)
 	return h
 }
 
@@ -367,10 +416,10 @@ func (r *Registry) Histograms() []*Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	out := make([]*Histogram, len(r.hists))
-	copy(out, r.hists)
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	out := make([]*Histogram, len(r.st.hists))
+	copy(out, r.st.hists)
+	r.st.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
@@ -381,12 +430,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	counters := append([]*Counter(nil), r.counters...)
-	gauges := append([]*Gauge(nil), r.gauges...)
-	gaugeFuncs := append([]*gaugeFunc(nil), r.gaugeFuncs...)
-	hists := append([]*Histogram(nil), r.hists...)
-	r.mu.Unlock()
+	r.st.mu.Lock()
+	counters := append([]*Counter(nil), r.st.counters...)
+	gauges := append([]*Gauge(nil), r.st.gauges...)
+	gaugeFuncs := append([]*gaugeFunc(nil), r.st.gaugeFuncs...)
+	hists := append([]*Histogram(nil), r.st.hists...)
+	r.st.mu.Unlock()
 
 	var b strings.Builder
 	for _, c := range counters {

@@ -34,6 +34,7 @@ type SpanEvent struct {
 	Wall    int64  // UnixNano
 	Logical uint64 // DMT logical clock (0 in non-DMT modes)
 	Lane    int    // execution lane the stage ran in (0 unless lanes configured)
+	Group   int    // Paxos group the request was ordered by (0 unless sharded)
 }
 
 // Tracer is a bounded in-memory ring of lifecycle events, dumpable as
@@ -139,6 +140,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		line = strconv.AppendUint(line, ev.Logical, 10)
 		line = append(line, `,"lane":`...)
 		line = strconv.AppendInt(line, int64(ev.Lane), 10)
+		line = append(line, `,"group":`...)
+		line = strconv.AppendInt(line, int64(ev.Group), 10)
 		line = append(line, '}', '\n')
 		if _, err := w.Write(line); err != nil {
 			return err

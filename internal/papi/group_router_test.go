@@ -1,0 +1,78 @@
+package papi
+
+import "testing"
+
+// TestRendezvousGroupStableAssignment pins the router's two contract
+// properties: assignment is a pure function of (connID, groups) — the
+// cross-replica determinism requirement — and growing the group count
+// remaps only the minority of connections whose new bucket wins (the
+// rendezvous-hashing stability that makes resharding cheap).
+func TestRendezvousGroupStableAssignment(t *testing.T) {
+	const conns = 4096
+	// Purity / determinism: identical inputs, identical outputs, in range.
+	for _, groups := range []int{1, 2, 3, 4, 8} {
+		for id := uint64(0); id < 64; id++ {
+			a := RendezvousGroup(id, groups)
+			b := RendezvousGroup(id, groups)
+			if a != b || a < 0 || a >= groups {
+				t.Fatalf("RendezvousGroup(%d, %d) unstable or out of range: %d, %d", id, groups, a, b)
+			}
+		}
+	}
+	// Balance: no group starves at 4 groups over realistic connection ids
+	// (high replica bits | low counter, like the proxy assigns).
+	counts := make([]int, 4)
+	for i := 0; i < conns; i++ {
+		id := uint64(1)<<48 | uint64(i+1)
+		counts[RendezvousGroup(id, 4)]++
+	}
+	for g, n := range counts {
+		if n < conns/8 {
+			t.Fatalf("group %d got %d of %d connections: badly unbalanced", g, n, conns)
+		}
+	}
+	// Stability under group-count change: growing N -> N+1 must remap
+	// roughly 1/(N+1) of connections and NEVER move a connection between
+	// two pre-existing groups (rendezvous: a connection only moves if the
+	// new bucket's score wins).
+	for n := 1; n < 8; n++ {
+		moved, movedWrong := 0, 0
+		for i := 0; i < conns; i++ {
+			id := uint64(1)<<48 | uint64(i+1)
+			was, is := RendezvousGroup(id, n), RendezvousGroup(id, n+1)
+			if was != is {
+				moved++
+				if is != n { // moved, but not to the new group
+					movedWrong++
+				}
+			}
+		}
+		if movedWrong != 0 {
+			t.Fatalf("%d->%d groups: %d connections moved between pre-existing groups", n, n+1, movedWrong)
+		}
+		// Expected fraction is 1/(n+1); allow generous slack.
+		if lo, hi := conns/(2*(n+1)), 2*conns/(n+1); moved < lo || moved > hi {
+			t.Fatalf("%d->%d groups: %d of %d connections remapped, want roughly %d",
+				n, n+1, moved, conns, conns/(n+1))
+		}
+	}
+}
+
+// TestConnGroupOfOverride checks the ConflictMap hook: a declared ConnGroup
+// wins over rendezvous hashing, is normalized into range, and groups <= 1
+// short-circuits to 0 without consulting anything.
+func TestConnGroupOfOverride(t *testing.T) {
+	p := &Program{Conflict: &ConflictMap{
+		ConnGroup: func(connID uint64, groups int) int { return -1 },
+	}}
+	if g := p.ConnGroupOf(7, 4); g != 3 {
+		t.Fatalf("negative router result not normalized: got %d, want 3", g)
+	}
+	if g := p.ConnGroupOf(7, 1); g != 0 {
+		t.Fatalf("groups=1 must pin to 0, got %d", g)
+	}
+	bare := &Program{}
+	if g := bare.ConnGroupOf(99, 4); g != RendezvousGroup(99, 4) {
+		t.Fatalf("undeclared router must fall back to rendezvous hashing")
+	}
+}

@@ -190,6 +190,16 @@ type ConflictMap struct {
 	// running two (the 8-lane MySQL regression in BENCH_lanes.json).
 	// Zero means unlimited.
 	MaxUseful int
+
+	// ConnGroup routes an accepted connection to a Paxos consensus group
+	// when the deployment shards the socket-call log (Config.Groups > 1,
+	// ISSUE 10). Nil defaults to rendezvous hashing on the connection id
+	// (ConnGroupOf), which keeps assignments stable under group-count
+	// changes. Unlike lanes, group routing happens on the primary before
+	// ordering, so it must be a pure function of (connID, groups) —
+	// replicas re-derive it from the committed stream for observability
+	// only, never for correctness.
+	ConnGroup func(connID uint64, groups int) int
 }
 
 // Program describes a deployable server program.
@@ -220,6 +230,49 @@ func (p *Program) ConnLaneOf(connID uint64, lanes int) int {
 		return ((lane % lanes) + lanes) % lanes
 	}
 	return int(connID % uint64(lanes))
+}
+
+// ConnGroupOf resolves the Paxos group for a connection: the program's
+// ConnGroup router when declared, rendezvous hashing otherwise.
+func (p *Program) ConnGroupOf(connID uint64, groups int) int {
+	if groups <= 1 {
+		return 0
+	}
+	if p != nil && p.Conflict != nil && p.Conflict.ConnGroup != nil {
+		g := p.Conflict.ConnGroup(connID, groups)
+		return ((g % groups) + groups) % groups
+	}
+	return RendezvousGroup(connID, groups)
+}
+
+// RendezvousGroup assigns connID to one of groups buckets by
+// highest-random-weight (rendezvous) hashing: each bucket scores
+// mix(connID, bucket) and the highest score wins. Growing from N to N+1
+// groups remaps only the ~1/(N+1) of connections whose new bucket wins,
+// so resharding moves the minimum number of connections — the stability
+// property the router tests pin down.
+func RendezvousGroup(connID uint64, groups int) int {
+	if groups <= 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	for g := 0; g < groups; g++ {
+		if s := mix64(connID ^ (uint64(g)+1)*0x9e3779b97f4a7c15); g == 0 || s > bestScore {
+			best, bestScore = g, s
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer (public-domain constant set).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // EffectiveLanes clamps a deployment's requested lane count to what the

@@ -74,6 +74,17 @@ type Message struct {
 	LastNorm  uint64 // last view in which the sender was in Normal status
 	Entries   []LogEntry
 	Primary   int
+	// Group routes the message to one consensus group when several share a
+	// transport endpoint (GroupMux). Nodes never read it; the mux stamps it
+	// on send and dispatches on receive. Always 0 in single-group clusters.
+	Group int
+	// Done piggybacks GC watermarks (the Min/Done protocol of the 6.824
+	// paxos lab): on AcceptOK it is the sender's own done index — the
+	// highest global index whose entries the sender no longer needs — and
+	// on Heartbeat/Commit it is the primary's cluster-wide minimum, which
+	// backups apply as their compaction floor. 0 means "no watermark yet"
+	// and never triggers GC.
+	Done uint64
 	// Audit piggybacks the sender's latest flight-recorder audit samples
 	// (rolling journal hashes + output fingerprint) on AcceptOK replies so
 	// the primary can cross-check replicas without extra messages.
@@ -154,13 +165,16 @@ var ErrNotPrimary = errors.New("paxos: not primary")
 var ErrStopped = errors.New("paxos: stopped")
 
 type event struct {
-	msg     *Message
-	batch   [][]byte
-	reply   chan error
-	compact uint64
-	reply2  chan struct{}
-	tick    bool
-	stop    bool
+	msg      *Message
+	batch    [][]byte
+	reply    chan error
+	compact  uint64
+	reply2   chan struct{}
+	done     uint64 // SetDone watermark
+	setDone  bool
+	tick     bool
+	stop     bool
+	campaign bool
 }
 
 // Node is one consensus replica.
@@ -187,6 +201,15 @@ type Node struct {
 	electDelay time.Duration // randomized election timeout
 	electRng   *rand.Rand    // re-randomizes the timeout per retry
 
+	// Min/Done GC state (6.824 paxos lab style). doneIdx is this node's own
+	// done watermark (SetDone); peerDone the watermarks peers piggybacked on
+	// AcceptOK; gcFloor the highest compaction floor applied so far. All
+	// default 0, so nodes that never call SetDone never GC — full-replay
+	// recovery (RestartReplica) is unaffected until a caller opts in.
+	doneIdx  uint64
+	peerDone map[int]uint64
+	gcFloor  uint64
+
 	// instruments (nil instruments discard observations, so a node built
 	// without Config.Obs pays only a nil check per event)
 	obsProposals    *obs.Counter
@@ -208,13 +231,14 @@ type Node struct {
 	lastElectionMs float64
 
 	// mirrors for lock-free-ish external reads
-	mu        sync.Mutex
-	extView   uint64
-	extPrim   int
-	extStatus Status
-	extCommit uint64
-	viewCount uint64
-	stopped   bool
+	mu         sync.Mutex
+	extView    uint64
+	extPrim    int
+	extStatus  Status
+	extCommit  uint64
+	extGCFloor uint64
+	viewCount  uint64
+	stopped    bool
 }
 
 // NewNode creates a node; call Start to run it.
@@ -241,12 +265,13 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.MaxInflight = DefaultMaxInflight
 	}
 	n := &Node{
-		cfg:     cfg,
-		events:  make(chan event, 4096),
-		done:    make(chan struct{}),
-		primary: cfg.InitialPrimary,
-		acks:    make(map[uint64]map[int]bool),
-		lastHB:  time.Now(), //crane:detflow-ok heartbeat timer, below the consensus boundary
+		cfg:      cfg,
+		events:   make(chan event, 4096),
+		done:     make(chan struct{}),
+		primary:  cfg.InitialPrimary,
+		acks:     make(map[uint64]map[int]bool),
+		peerDone: make(map[int]uint64),
+		lastHB:   time.Now(), //crane:detflow-ok heartbeat timer, below the consensus boundary
 	}
 	n.flusher, _ = cfg.Transport.(Flusher)
 	if cfg.Obs != nil {
@@ -384,6 +409,21 @@ func (n *Node) CommitIndex() uint64 {
 	return n.extCommit
 }
 
+// Campaign asks the node to start an election for the next view now
+// instead of waiting out a heartbeat timeout. Sharded deployments use it
+// for leadership alignment: independent per-group elections can settle on
+// different replicas after a failover, and the designated replica pulls
+// the remaining groups onto itself so one proxy can serve every
+// connection. A node that already leads ignores the call; the view-change
+// log merge makes a takeover from a live leader safe (committed entries
+// survive via the promise quorum).
+func (n *Node) Campaign() {
+	select {
+	case n.events <- event{campaign: true}:
+	case <-n.done:
+	}
+}
+
 // ViewChanges returns how many times this node entered a new Normal view.
 func (n *Node) ViewChanges() uint64 {
 	n.mu.Lock()
@@ -432,6 +472,75 @@ func (n *Node) handleCompact(idx uint64) {
 	}
 }
 
+// SetDone advances this node's done watermark: a promise that it no longer
+// needs entries with index <= idx (it holds a checkpoint anchored at or
+// above idx, §5.2). The watermark piggybacks on AcceptOK replies; when the
+// primary sees every peer's watermark it compacts to the cluster minimum
+// and announces that floor on heartbeats, where backups apply it. GC never
+// runs below any replica's promise, and a node that never calls SetDone
+// pins the whole cluster at full retention. Fire-and-forget.
+func (n *Node) SetDone(idx uint64) {
+	select {
+	case n.events <- event{done: idx, setDone: true}:
+	case <-n.done:
+	}
+}
+
+// GCFloor returns the highest compaction floor this node has applied via
+// the Done/Min protocol (0 until the cluster minimum first advances).
+func (n *Node) GCFloor() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extGCFloor
+}
+
+// handleDone raises the local done watermark and, on the primary, re-checks
+// the cluster minimum.
+func (n *Node) handleDone(idx uint64) {
+	if idx <= n.doneIdx {
+		return
+	}
+	n.doneIdx = idx
+	n.maybeGC()
+}
+
+// clusterMinDone returns the minimum done watermark across this node and
+// every peer (0 while any peer has yet to report).
+func (n *Node) clusterMinDone() uint64 {
+	min := n.doneIdx
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		if d := n.peerDone[p]; d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// maybeGC compacts to the cluster minimum done watermark. Only the primary
+// computes the minimum (it is the only node that sees every peer's
+// AcceptOK); backups compact at the floor the primary announces on
+// Heartbeat/Commit messages.
+func (n *Node) maybeGC() {
+	if n.status != StatusNormal || n.primary != n.cfg.ID {
+		return
+	}
+	if min := n.clusterMinDone(); min > n.gcFloor {
+		n.applyGCFloor(min)
+	}
+}
+
+// applyGCFloor trims log and WAL below floor on any node.
+func (n *Node) applyGCFloor(floor uint64) {
+	if floor <= n.gcFloor {
+		return
+	}
+	n.gcFloor = floor
+	n.handleCompact(floor)
+}
+
 // ReplayFrom streams persisted committed entries with index in
 // (from, CommitIndex] to fn, for replica recovery.
 func (n *Node) ReplayFrom(from uint64, fn func(LogEntry) bool) error {
@@ -449,6 +558,7 @@ func (n *Node) publish() {
 	n.extPrim = n.primary
 	n.extStatus = n.status
 	n.extCommit = n.commitIdx
+	n.extGCFloor = n.gcFloor
 	n.mu.Unlock()
 }
 
@@ -482,6 +592,15 @@ func (n *Node) loop() {
 			case ev.reply2 != nil:
 				n.handleCompact(ev.compact)
 				close(ev.reply2)
+			case ev.setDone:
+				n.handleDone(ev.done)
+			case ev.campaign:
+				if n.status != StatusNormal || n.primary != n.cfg.ID {
+					n.startElection()
+					// Hold the timer-driven retry off for a full backoff
+					// window so it cannot trample this election.
+					n.lastHB = time.Now() //crane:detflow-ok election timer, below the consensus boundary
+				}
 			case ev.batch != nil || ev.reply != nil:
 				n.handlePropose(ev)
 			}
@@ -613,7 +732,8 @@ func (n *Node) handleTick() {
 		// Accepts (e.g. to transport overflow under load) detect the
 		// gap and catch up even when no newer Accept arrives.
 		n.broadcast(Message{Type: MsgHeartbeat, View: n.view,
-			CommitIdx: n.commitIdx, Index: n.lastLogIndex()})
+			CommitIdx: n.commitIdx, Index: n.lastLogIndex(),
+			Done: n.gcFloor})
 		return
 	}
 	// Backup or mid-election: check for primary silence.
@@ -740,7 +860,7 @@ func (n *Node) onAcceptBatch(msg Message) {
 // sendAcceptOK replies with an AcceptOK, piggybacking any fresh
 // flight-recorder audit samples for the primary to cross-check.
 func (n *Node) sendAcceptOK(to int, idx uint64) {
-	m := Message{Type: MsgAcceptOK, View: n.view, Index: idx}
+	m := Message{Type: MsgAcceptOK, View: n.view, Index: idx, Done: n.doneIdx}
 	if n.cfg.AuditSource != nil {
 		m.Audit = n.cfg.AuditSource()
 	}
@@ -750,6 +870,10 @@ func (n *Node) sendAcceptOK(to int, idx uint64) {
 func (n *Node) onAcceptOK(msg Message) {
 	if n.cfg.OnAudit != nil && len(msg.Audit) > 0 {
 		n.cfg.OnAudit(msg.From, msg.Audit)
+	}
+	if msg.Done > n.peerDone[msg.From] {
+		n.peerDone[msg.From] = msg.Done
+		n.maybeGC()
 	}
 	if msg.View != n.view || n.primary != n.cfg.ID || n.status != StatusNormal {
 		return
@@ -794,7 +918,8 @@ func (n *Node) tryAdvanceCommit() {
 		delete(n.acks, i)
 	}
 	n.commitThrough(target)
-	n.broadcast(Message{Type: MsgCommit, View: n.view, CommitIdx: n.commitIdx})
+	n.broadcast(Message{Type: MsgCommit, View: n.view, CommitIdx: n.commitIdx,
+		Done: n.gcFloor})
 	// Retire acknowledged pipeline rounds and refill the window.
 	for len(n.inflight) > 0 && n.inflight[0] <= n.commitIdx {
 		if len(n.roundStart) != 0 { // skip the hash when no round is sampled
@@ -872,6 +997,12 @@ func (n *Node) onHeartbeat(msg Message) {
 		return
 	}
 	n.lastHB = time.Now() //crane:detflow-ok heartbeat timer, below the consensus boundary
+	if msg.From == n.primary && msg.Done > n.gcFloor {
+		// The primary announced a new cluster-minimum done watermark: every
+		// replica (including this one) has promised it holds a checkpoint at
+		// or above it, so trimming below it loses nothing recoverable.
+		n.applyGCFloor(msg.Done)
+	}
 	if n.status == StatusViewChange && msg.From == n.primary {
 		// Primary is alive after all (e.g. transient network blip during
 		// our election attempt): return to normal.

@@ -67,6 +67,22 @@ type Entry struct {
 	Data   []byte // payload (Send only)
 	NClock uint64 // remaining logical clocks (Bubble only)
 
+	// Stamp is the admission-order logical stamp assigned by the primary's
+	// burst submitter, drawn from one per-replica counter shared by every
+	// Paxos group. Within a group it is strictly monotone, so the
+	// multi-group merge (Groups) can deterministically interleave the
+	// groups' committed streams by stamp order. At Groups=1 the stamp rides
+	// the wire but nothing consumes it.
+	Stamp uint64
+
+	// Vec is a bubble's vector of per-group logical-clock stamps (ISSUE 10):
+	// Vec[h] is the newest stamp the proposing primary had assigned to group
+	// h when the bubble was submitted. The merge applies it as a watermark
+	// floor on emission, letting lanes consume group g's entries up to the
+	// vector stamp even while other groups are idle. Nil for client calls
+	// and for every entry at Groups=1.
+	Vec []uint64
+
 	// Spec marks an entry enqueued speculatively by the proposing replica
 	// before its consensus commit (ISSUE 7). A speculative entry is
 	// consumed by the DMT exactly like a committed one; when the commit
@@ -85,14 +101,14 @@ type Entry struct {
 // the consensus slot assigned on delivery. Req rides the wire so every
 // replica's lifecycle trace keys stages by the same request id.)
 //
-//	index(8) | req(8) | kind(1) | conn(8) | port(8) | nclock(8) | len(data)(4) | data
-const entryHeaderSize = 8 + 8 + 1 + 8 + 8 + 8 + 4
+//	index(8) | req(8) | kind(1) | conn(8) | port(8) | nclock(8) | stamp(8) | len(vec)(2) | len(data)(4) | vec(8·len) | data
+const entryHeaderSize = 8 + 8 + 1 + 8 + 8 + 8 + 8 + 2 + 4
 
 // ErrBadEntry is returned by Decode for a malformed payload.
 var ErrBadEntry = errors.New("seq: malformed entry payload")
 
 // wireSize returns the encoded length of e.
-func (e *Entry) wireSize() int { return entryHeaderSize + len(e.Data) }
+func (e *Entry) wireSize() int { return entryHeaderSize + 8*len(e.Vec) + len(e.Data) }
 
 // marshal writes e into b, which must be exactly wireSize() long.
 func (e *Entry) marshal(b []byte) {
@@ -102,12 +118,21 @@ func (e *Entry) marshal(b []byte) {
 	binary.LittleEndian.PutUint64(b[17:25], e.Conn)
 	binary.LittleEndian.PutUint64(b[25:33], uint64(int64(e.Port)))
 	binary.LittleEndian.PutUint64(b[33:41], e.NClock)
-	binary.LittleEndian.PutUint32(b[41:45], uint32(len(e.Data)))
-	copy(b[entryHeaderSize:], e.Data)
+	binary.LittleEndian.PutUint64(b[41:49], e.Stamp)
+	binary.LittleEndian.PutUint16(b[49:51], uint16(len(e.Vec)))
+	binary.LittleEndian.PutUint32(b[51:55], uint32(len(e.Data)))
+	off := entryHeaderSize
+	for _, v := range e.Vec {
+		binary.LittleEndian.PutUint64(b[off:off+8], v)
+		off += 8
+	}
+	copy(b[off:], e.Data)
 }
 
 // unmarshal parses b into e. The Data slice aliases b (consumers only ever
-// reslice it), so callers must not mutate the payload afterwards.
+// reslice it), so callers must not mutate the payload afterwards; Vec is
+// decoded into fresh storage (bubbles only, so the delivery path stays
+// allocation-free for client calls).
 func (e *Entry) unmarshal(b []byte) error {
 	if len(b) < entryHeaderSize {
 		return fmt.Errorf("%w: %d bytes", ErrBadEntry, len(b))
@@ -116,10 +141,11 @@ func (e *Entry) unmarshal(b []byte) error {
 	if kind < KindConnect || kind > KindBubble {
 		return fmt.Errorf("%w: kind %d", ErrBadEntry, b[16])
 	}
-	dlen := binary.LittleEndian.Uint32(b[41:45])
-	if int(dlen) != len(b)-entryHeaderSize {
+	nvec := int(binary.LittleEndian.Uint16(b[49:51]))
+	dlen := binary.LittleEndian.Uint32(b[51:55])
+	if int(dlen) != len(b)-entryHeaderSize-8*nvec {
 		return fmt.Errorf("%w: length %d vs %d payload bytes", ErrBadEntry,
-			dlen, len(b)-entryHeaderSize)
+			dlen, len(b)-entryHeaderSize-8*nvec)
 	}
 	e.Index = binary.LittleEndian.Uint64(b[0:8])
 	e.Req = binary.LittleEndian.Uint64(b[8:16])
@@ -127,8 +153,19 @@ func (e *Entry) unmarshal(b []byte) error {
 	e.Conn = binary.LittleEndian.Uint64(b[17:25])
 	e.Port = int(int64(binary.LittleEndian.Uint64(b[25:33])))
 	e.NClock = binary.LittleEndian.Uint64(b[33:41])
+	e.Stamp = binary.LittleEndian.Uint64(b[41:49])
+	off := entryHeaderSize
+	if nvec > 0 {
+		e.Vec = make([]uint64, nvec)
+		for i := range e.Vec {
+			e.Vec[i] = binary.LittleEndian.Uint64(b[off : off+8])
+			off += 8
+		}
+	} else {
+		e.Vec = nil
+	}
 	if dlen > 0 {
-		e.Data = b[entryHeaderSize:]
+		e.Data = b[off:]
 	} else {
 		e.Data = nil
 	}
